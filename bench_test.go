@@ -1,0 +1,597 @@
+// Package repro's benchmarks regenerate every figure and table of the
+// paper's evaluation in testing.B form, one benchmark per exhibit, plus
+// micro-benchmarks of the engine's building blocks. The cmd/bench tool runs
+// the same experiments through internal/harness with full table output; the
+// benchmarks here are sized so `go test -bench=.` finishes in minutes.
+//
+//	BenchmarkFig1IOPS         — Figure 1: random-read IOPS per device profile
+//	BenchmarkFig2Chain        — Figure 2: worst-case serialized chain
+//	BenchmarkTable1BFS        — Table I: in-memory BFS, all competitors
+//	BenchmarkTable2SSSP       — Table II: in-memory SSSP, UW and LUW weights
+//	BenchmarkTable3CC         — Table III: in-memory CC, all competitors
+//	BenchmarkTable4SEMBFS     — Table IV: semi-external BFS per device
+//	BenchmarkTable5SEMCC      — Table V: semi-external CC per device
+//	BenchmarkAblation*        — the DESIGN.md ablation studies
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/extsort"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lockfree"
+	"repro/internal/pq"
+	"repro/internal/sem"
+	"repro/internal/ssd"
+)
+
+// Benchmark workloads are scaled so each sub-benchmark iteration runs in
+// milliseconds; cmd/bench runs the full-size versions.
+const (
+	benchScale  = 12
+	benchDegree = 16
+	benchSeed   = 42
+)
+
+var benchGraphs struct {
+	once       sync.Once
+	directed   *graph.CSR[uint32] // RMAT-A, directed, unweighted
+	directedB  *graph.CSR[uint32] // RMAT-B, directed, unweighted
+	weightedUW *graph.CSR[uint32]
+	weightedLU *graph.CSR[uint32]
+	undirected *graph.CSR[uint32]
+	src        uint32
+	chain      *graph.CSR[uint32]
+	semFile    []byte // directed graph serialized for SEM runs
+	semFileU   []byte // undirected graph serialized for SEM CC runs
+}
+
+func graphs(tb testing.TB) *struct {
+	once       sync.Once
+	directed   *graph.CSR[uint32]
+	directedB  *graph.CSR[uint32]
+	weightedUW *graph.CSR[uint32]
+	weightedLU *graph.CSR[uint32]
+	undirected *graph.CSR[uint32]
+	src        uint32
+	chain      *graph.CSR[uint32]
+	semFile    []byte
+	semFileU   []byte
+} {
+	benchGraphs.once.Do(func() {
+		must := func(err error) {
+			if err != nil {
+				tb.Fatal(err)
+			}
+		}
+		var err error
+		benchGraphs.directed, err = gen.RMAT[uint32](benchScale, benchDegree, gen.RMATA, benchSeed)
+		must(err)
+		benchGraphs.directedB, err = gen.RMAT[uint32](benchScale, benchDegree, gen.RMATB, benchSeed)
+		must(err)
+		benchGraphs.weightedUW, err = gen.UniformWeights(benchGraphs.directed, benchSeed)
+		must(err)
+		benchGraphs.weightedLU, err = gen.LogUniformWeights(benchGraphs.directed, benchSeed)
+		must(err)
+		benchGraphs.undirected, err = gen.RMATUndirected[uint32](benchScale, benchDegree, gen.RMATA, benchSeed)
+		must(err)
+		benchGraphs.chain, err = gen.Chain[uint32](1 << benchScale)
+		must(err)
+		for v := uint32(0); uint64(v) < benchGraphs.directed.NumVertices(); v++ {
+			if benchGraphs.directed.Degree(v) > benchGraphs.directed.Degree(benchGraphs.src) {
+				benchGraphs.src = v
+			}
+		}
+		var buf bytes.Buffer
+		must(sem.WriteCSR(&buf, benchGraphs.directed))
+		benchGraphs.semFile = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		must(sem.WriteCSR(&buf, benchGraphs.undirected))
+		benchGraphs.semFileU = append([]byte(nil), buf.Bytes()...)
+	})
+	return &benchGraphs
+}
+
+// edgesPerSec reports traversal throughput the way the paper's tables invite
+// comparison (time per graph is scale-dependent; edges/s is not).
+func edgesPerSec(b *testing.B, edges uint64) {
+	b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkFig1IOPS regenerates Figure 1's data points: saturated-thread
+// random-read IOPS per device profile (the per-thread sweep is in cmd/bench
+// -exp fig1).
+func BenchmarkFig1IOPS(b *testing.B) {
+	backing := &ssd.MemBacking{Data: make([]byte, 4<<20)}
+	for _, p := range ssd.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				dev := ssd.New(p, backing)
+				total += ssd.MeasureReadIOPS(dev, 64, 4096, 100*time.Millisecond, benchSeed)
+			}
+			b.ReportMetric(total/float64(b.N), "IOPS")
+		})
+	}
+}
+
+// BenchmarkFig2Chain regenerates Figure 2's worst case: the chain graph
+// serializes the asynchronous traversal regardless of worker count.
+func BenchmarkFig2Chain(b *testing.B) {
+	g := graphs(b).chain
+	for _, workers := range []int{1, 16, 512} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS[uint32](g, 0, core.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+	}
+}
+
+// BenchmarkTable1BFS regenerates Table I: every in-memory BFS competitor on
+// the same RMAT graphs.
+func BenchmarkTable1BFS(b *testing.B) {
+	gs := graphs(b)
+	for _, in := range []struct {
+		name string
+		g    *graph.CSR[uint32]
+	}{{"RMAT-A", gs.directed}, {"RMAT-B", gs.directedB}} {
+		g := in.g
+		b.Run(in.name+"/BGL-serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.SerialBFS[uint32](g, gs.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+		b.Run(in.name+"/MTGL-levelsync16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.LevelSyncBFS[uint32](g, gs.src, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+		b.Run(in.name+"/SNAP-vertexscan16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.VertexScanBFS[uint32](g, gs.src, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+		for _, workers := range []int{1, 16, 512} {
+			b.Run(fmt.Sprintf("%s/async%d", in.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.BFS[uint32](g, gs.src, core.Config{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				edgesPerSec(b, g.NumEdges())
+			})
+		}
+		b.Run(in.name+"/PBGL-bsp16", func(b *testing.B) {
+			c, err := bsp.NewCluster[uint32](g, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.BFS(gs.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+	}
+}
+
+// BenchmarkTable2SSSP regenerates Table II: serial Dijkstra vs the
+// asynchronous SSSP under both weight schemes.
+func BenchmarkTable2SSSP(b *testing.B) {
+	gs := graphs(b)
+	for _, in := range []struct {
+		name string
+		g    *graph.CSR[uint32]
+	}{{"UW", gs.weightedUW}, {"LUW", gs.weightedLU}} {
+		g := in.g
+		b.Run(in.name+"/BGL-dijkstra", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.SerialDijkstra[uint32](g, gs.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+		for _, workers := range []int{1, 16, 512} {
+			b.Run(fmt.Sprintf("%s/async%d", in.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.SSSP[uint32](g, gs.src, core.Config{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				edgesPerSec(b, g.NumEdges())
+			})
+		}
+	}
+}
+
+// BenchmarkTable3CC regenerates Table III: every in-memory CC competitor on
+// the undirected RMAT graph.
+func BenchmarkTable3CC(b *testing.B) {
+	gs := graphs(b)
+	g := gs.undirected
+	b.Run("BGL-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.SerialCC[uint32](g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, g.NumEdges())
+	})
+	b.Run("MTGL-labelprop16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.LabelPropCC[uint32](g, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, g.NumEdges())
+	})
+	b.Run("unionfind16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.UnionFindCC[uint32](g, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, g.NumEdges())
+	})
+	for _, workers := range []int{1, 16, 512} {
+		b.Run(fmt.Sprintf("async%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CC[uint32](g, core.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, g.NumEdges())
+		})
+	}
+	b.Run("PBGL-bsp16", func(b *testing.B) {
+		c, err := bsp.NewCluster[uint32](g, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.CC(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, g.NumEdges())
+	})
+}
+
+func semMount(b *testing.B, file []byte, p ssd.Profile) (*sem.Graph[uint32], *ssd.Device) {
+	b.Helper()
+	dev := ssd.New(p, &ssd.MemBacking{Data: file})
+	cache, err := sem.NewCachedStoreRA(dev, 4096, int64(len(file))/2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := sem.Open[uint32](cache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sg, dev
+}
+
+// BenchmarkTable4SEMBFS regenerates Table IV: semi-external BFS per flash
+// profile (cold cache per iteration).
+func BenchmarkTable4SEMBFS(b *testing.B) {
+	gs := graphs(b)
+	for _, p := range ssd.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sg, _ := semMount(b, gs.semFile, p)
+				if _, err := core.BFS[uint32](sg, gs.src, core.Config{Workers: 128, SemiSort: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, gs.directed.NumEdges())
+		})
+	}
+}
+
+// BenchmarkTable5SEMCC regenerates Table V: semi-external CC per flash
+// profile (cold cache per iteration).
+func BenchmarkTable5SEMCC(b *testing.B) {
+	gs := graphs(b)
+	for _, p := range ssd.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sg, _ := semMount(b, gs.semFileU, p)
+				if _, err := core.CC[uint32](sg, core.Config{Workers: 128, SemiSort: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, gs.undirected.NumEdges())
+		})
+	}
+}
+
+// BenchmarkAblationOversubscription regenerates the §IV-A thread
+// oversubscription study on the asynchronous BFS.
+func BenchmarkAblationOversubscription(b *testing.B) {
+	gs := graphs(b)
+	for _, workers := range []int{1, 4, 16, 64, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS[uint32](gs.directed, gs.src, core.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, gs.directed.NumEdges())
+		})
+	}
+}
+
+// BenchmarkAblationSemiSort regenerates the §IV-C semi-sort locality study on
+// semi-external BFS (FusionIO profile).
+func BenchmarkAblationSemiSort(b *testing.B) {
+	gs := graphs(b)
+	for _, sorted := range []bool{true, false} {
+		b.Run(fmt.Sprintf("semisort=%v", sorted), func(b *testing.B) {
+			var reads uint64
+			for i := 0; i < b.N; i++ {
+				sg, dev := semMount(b, gs.semFile, ssd.FusionIO)
+				if _, err := core.BFS[uint32](sg, gs.src, core.Config{Workers: 128, SemiSort: sorted}); err != nil {
+					b.Fatal(err)
+				}
+				reads += dev.Stats().Reads
+			}
+			b.ReportMetric(float64(reads)/float64(b.N), "devReads/op")
+		})
+	}
+}
+
+// BenchmarkAblationCoarsen regenerates the Δ-style priority-coarsening study
+// on the asynchronous SSSP.
+func BenchmarkAblationCoarsen(b *testing.B) {
+	gs := graphs(b)
+	for _, shift := range []uint8{0, 8, 16} {
+		b.Run(fmt.Sprintf("shift=%d", shift), func(b *testing.B) {
+			var visits uint64
+			for i := 0; i < b.N; i++ {
+				res, err := core.SSSP[uint32](gs.weightedUW, gs.src, core.Config{
+					Workers: 64, SemiSort: true, CoarseShift: shift,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				visits += res.Stats.Visits
+			}
+			b.ReportMetric(float64(visits)/float64(b.N), "visits/op")
+		})
+	}
+}
+
+// BenchmarkAblationHash regenerates the §III-A queue-selection hash study on
+// the asynchronous CC.
+func BenchmarkAblationHash(b *testing.B) {
+	gs := graphs(b)
+	for _, h := range []struct {
+		name string
+		fn   func(uint64) uint64
+	}{{"fibonacci", core.FibHash}, {"identity", core.IdentityHash}} {
+		b.Run(h.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CC[uint32](gs.undirected, core.Config{Workers: 64, Hash: h.fn}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, gs.undirected.NumEdges())
+		})
+	}
+}
+
+// --- micro-benchmarks of the building blocks ---
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := pq.New(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(pq.Item{Pri: uint64(i * 2654435761 % 1000), V: uint64(i)})
+		if i%2 == 1 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	// Raw visitor dispatch rate: each visitor does no work and pushes
+	// nothing, isolating queue + termination overhead.
+	for _, workers := range []int{1, 16, 512} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := core.New[uint32](core.Config{Workers: workers}, func(*core.Ctx[uint32], pq.Item) error {
+				return nil
+			})
+			e.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Push(uint64(i), uint32(i), 0)
+			}
+			if _, err := e.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "visitors/s")
+		})
+	}
+}
+
+func BenchmarkRMATGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.RMAT[uint32](benchScale, benchDegree, gen.RMATA, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(uint64(1)<<benchScale*benchDegree)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkSEMFormatRoundTrip(b *testing.B) {
+	gs := graphs(b)
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := sem.WriteCSR(&buf, gs.directed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		dev := ssd.New(ssd.Profile{Name: "fast", Channels: 64, ReadLatency: time.Nanosecond},
+			&ssd.MemBacking{Data: gs.semFile})
+		for i := 0; i < b.N; i++ {
+			if _, err := sem.LoadCSR[uint32](dev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineComparison pits the ownership-hashed engine (heap and
+// bucket queues) against the lock-free CAS + work-stealing alternative on
+// the same BFS, the engine-design ablation in testing.B form.
+func BenchmarkEngineComparison(b *testing.B) {
+	gs := graphs(b)
+	b.Run("ownership-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BFS[uint32](gs.directed, gs.src, core.Config{Workers: 64}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, gs.directed.NumEdges())
+	})
+	b.Run("ownership-bucket", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BFS[uint32](gs.directed, gs.src, core.Config{Workers: 64, Queue: core.QueueBucket}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, gs.directed.NumEdges())
+	})
+	b.Run("lockfree-steal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lockfree.BFS(gs.directed, gs.src, lockfree.Config{Workers: 64}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, gs.directed.NumEdges())
+	})
+}
+
+// BenchmarkDeltaStepping measures the Δ-stepping comparator across bucket
+// widths.
+func BenchmarkDeltaStepping(b *testing.B) {
+	gs := graphs(b)
+	for _, delta := range []uint64{1 << 8, 1 << 12} {
+		b.Run(fmt.Sprintf("delta=2^%d", bitsLen(delta)-1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.DeltaStepping[uint32](gs.weightedUW, gs.src, delta, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+			edgesPerSec(b, gs.weightedUW.NumEdges())
+		})
+	}
+}
+
+func bitsLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// BenchmarkOutOfCoreBuild measures the external-sort graph build pipeline
+// with a spill-forcing budget.
+func BenchmarkOutOfCoreBuild(b *testing.B) {
+	edges := gen.RMATEdges[uint32](benchScale, 1<<benchScale*benchDegree, gen.RMATA, benchSeed)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eb := extsort.NewBuilder(1<<benchScale, false, 8192, dir)
+		for _, e := range edges {
+			if err := eb.Add(e.Src, e.Dst, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		f, err := os.CreateTemp(dir, "bench-*.asg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eb.WriteTo(f); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+		os.Remove(f.Name())
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkRAID0Striping measures striped random reads at 1, 2, and 4 cards
+// of fixed per-card hardware.
+func BenchmarkRAID0Striping(b *testing.B) {
+	backing := &ssd.MemBacking{Data: make([]byte, 1<<20)}
+	card := ssd.CardProfile(ssd.FusionIO, 4)
+	for _, cards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cards=%d", cards), func(b *testing.B) {
+			arr, err := ssd.NewRAID0Array(card, cards, 64*1024, backing)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			// 32 concurrent readers issue b.N reads total.
+			per := b.N/32 + 1
+			for w := 0; w < 32; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					buf := make([]byte, 4096)
+					for i := 0; i < per; i++ {
+						off := int64((seed*per + i) * 7919 % (1<<20 - 4096))
+						if _, err := arr.ReadAt(buf, off); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(32*per)/b.Elapsed().Seconds(), "IOPS")
+		})
+	}
+}
+
+func BenchmarkBucketQueue(b *testing.B) {
+	q := pq.NewBucket()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(pq.Item{Pri: uint64(i % 8), V: uint64(i)})
+		if i%2 == 1 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command iops reproduces Figure 1's measurement for one simulated flash
+// profile: random-read IOPS as a function of the number of issuing threads.
+//
+// Example:
+//
+//	iops -profile Intel -threads 1,2,4,8,16,32,64,128,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ssd"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "FusionIO", "flash profile: FusionIO, Intel, Corsair")
+		threads  = flag.String("threads", "1,2,4,8,16,32,64,128,256", "comma-separated thread counts")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measurement window per point")
+		readSize = flag.Int("readsize", 4096, "bytes per random read")
+		span     = flag.Int64("span", 64<<20, "device size in bytes")
+		seed     = flag.Uint64("seed", 1, "random offset seed")
+	)
+	flag.Parse()
+	if err := run(*profile, *threads, *duration, *readSize, *span, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "iops: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile, threads string, duration time.Duration, readSize int, span int64, seed uint64) error {
+	p, err := ssd.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	counts, err := parseThreads(threads)
+	if err != nil {
+		return err
+	}
+	backing := &ssd.MemBacking{Data: make([]byte, span)}
+	fmt.Printf("# %s: %d channels, %v read latency, model ceiling %.0f IOPS (1/%d time scale)\n",
+		p.Name, p.Channels, p.ReadLatency, p.SaturatedReadIOPS(), ssd.TimeScale)
+	fmt.Printf("%-8s %s\n", "threads", "IOPS")
+	for _, t := range counts {
+		dev := ssd.New(p, backing)
+		iops := ssd.MeasureReadIOPS(dev, t, readSize, duration, seed)
+		fmt.Printf("%-8d %.0f\n", t, iops)
+	}
+	return nil
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+// Command traverse runs a graph traversal over a graph file produced by
+// cmd/gengraph, either in-memory or semi-externally through a simulated
+// flash device, with a choice of engines.
+//
+// Examples:
+//
+//	traverse -graph a16.asg -algo bfs -engine async -workers 512
+//	traverse -graph a16.asg -algo bfs -engine serial
+//	traverse -graph a14w.asg -algo sssp -engine async
+//	traverse -graph b14u.asg -algo cc -engine bsp -ranks 16
+//	traverse -graph a16.asg -algo bfs -sem -profile FusionIO -workers 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lockfree"
+	"repro/internal/sem"
+	"repro/internal/ssd"
+)
+
+func main() {
+	var (
+		path     = flag.String("graph", "", "graph file from gengraph (required)")
+		algo     = flag.String("algo", "bfs", "algorithm: bfs, sssp, cc")
+		engine   = flag.String("engine", "async", "engine: async, lockfree, serial, levelsync, bsp")
+		workers  = flag.Int("workers", 512, "async/levelsync worker count")
+		ranks    = flag.Int("ranks", 16, "bsp simulated rank count")
+		src      = flag.Uint64("src", 0, "source vertex (bfs/sssp); max-degree vertex if unset")
+		autoSrc  = flag.Bool("autosrc", true, "pick the max-degree vertex as source")
+		semMode  = flag.Bool("sem", false, "semi-external: leave edges on a simulated flash device")
+		profile  = flag.String("profile", "FusionIO", "flash profile for -sem: FusionIO, Intel, Corsair")
+		semisort = flag.Bool("semisort", true, "secondary vertex-id sort key (SEM locality)")
+		check    = flag.Bool("check", false, "verify async results against the serial baseline")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "traverse: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *profile, *semisort, *check); err != nil {
+		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode bool, profile string, semisort, check bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	backing, err := ssd.NewFileBacking(f)
+	if err != nil {
+		return err
+	}
+
+	var adj graph.Adjacency[uint32]
+	var im *graph.CSR[uint32]
+	if semMode {
+		p, err := ssd.ProfileByName(profile)
+		if err != nil {
+			return err
+		}
+		dev := ssd.New(p, backing)
+		cache, err := sem.NewCachedStoreRA(dev, 4096, backing.Size()/2, 8)
+		if err != nil {
+			return err
+		}
+		sg, err := sem.Open[uint32](cache)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("semi-external: %d vertices, %d edges, %d edge bytes on %s\n",
+			sg.NumVertices(), sg.NumEdges(), sg.EdgeBytes(), p.Name)
+		adj = sg
+	} else {
+		im, err = sem.LoadCSR[uint32](backing)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("in-memory: %d vertices, %d edges, weighted=%v\n",
+			im.NumVertices(), im.NumEdges(), im.Weighted())
+		adj = im
+	}
+
+	if autoSrc && src == 0 && algo != "cc" {
+		src = maxDegreeVertex(adj)
+		fmt.Printf("source: %d (max degree %d)\n", src, adj.Degree(uint32(src)))
+	}
+
+	cfg := core.Config{Workers: workers, SemiSort: semisort}
+	start := time.Now()
+	switch {
+	case algo == "bfs" && engine == "async":
+		res, err := core.BFS[uint32](adj, uint32(src), cfg)
+		if err != nil {
+			return err
+		}
+		report(start, res.Stats.String())
+		fmt.Printf("levels=%d visited=%.1f%%\n", res.NumLevels(), 100*res.FracVisited())
+		if check {
+			want, err := baseline.SerialBFS(adj, uint32(src))
+			if err != nil {
+				return err
+			}
+			for v := range want {
+				if res.Level[v] != want[v] {
+					return fmt.Errorf("check failed: level[%d] = %d, serial says %d", v, res.Level[v], want[v])
+				}
+			}
+			fmt.Println("check: levels match serial BFS")
+		}
+	case algo == "bfs" && engine == "lockfree":
+		res, err := lockfree.BFS(adj, uint32(src), lockfree.Config{Workers: workers})
+		if err != nil {
+			return err
+		}
+		report(start, res.Stats.String())
+	case algo == "bfs" && engine == "serial":
+		if _, err := baseline.SerialBFS(adj, uint32(src)); err != nil {
+			return err
+		}
+		report(start, "serial queue BFS")
+	case algo == "bfs" && engine == "levelsync":
+		if _, err := baseline.LevelSyncBFS(adj, uint32(src), workers); err != nil {
+			return err
+		}
+		report(start, fmt.Sprintf("level-synchronous BFS, %d workers", workers))
+	case algo == "bfs" && engine == "bsp":
+		c, err := bsp.NewCluster[uint32](adj, ranks)
+		if err != nil {
+			return err
+		}
+		_, stats, err := c.BFS(uint32(src))
+		if err != nil {
+			return err
+		}
+		report(start, fmt.Sprintf("BSP BFS: %d supersteps, %d messages, max imbalance %.2f",
+			stats.Supersteps, stats.Messages, stats.MaxImbalance()))
+	case algo == "sssp" && engine == "async":
+		res, err := core.SSSP[uint32](adj, uint32(src), cfg)
+		if err != nil {
+			return err
+		}
+		report(start, res.Stats.String())
+		if check {
+			want, _, err := baseline.SerialDijkstra(adj, uint32(src))
+			if err != nil {
+				return err
+			}
+			for v := range want {
+				if res.Dist[v] != want[v] {
+					return fmt.Errorf("check failed: dist[%d] = %d, Dijkstra says %d", v, res.Dist[v], want[v])
+				}
+			}
+			fmt.Println("check: distances match Dijkstra")
+		}
+	case algo == "sssp" && engine == "lockfree":
+		res, err := lockfree.SSSP(adj, uint32(src), lockfree.Config{Workers: workers})
+		if err != nil {
+			return err
+		}
+		report(start, res.Stats.String())
+	case algo == "sssp" && engine == "serial":
+		if _, _, err := baseline.SerialDijkstra(adj, uint32(src)); err != nil {
+			return err
+		}
+		report(start, "serial Dijkstra")
+	case algo == "cc" && engine == "async":
+		res, err := core.CC[uint32](adj, cfg)
+		if err != nil {
+			return err
+		}
+		report(start, res.Stats.String())
+		fmt.Printf("components=%d\n", res.NumComponents())
+		if check {
+			want, err := baseline.SerialCC(adj)
+			if err != nil {
+				return err
+			}
+			for v := range want {
+				if res.ID[v] != want[v] {
+					return fmt.Errorf("check failed: id[%d] = %d, serial says %d", v, res.ID[v], want[v])
+				}
+			}
+			fmt.Println("check: labels match serial CC")
+		}
+	case algo == "cc" && engine == "lockfree":
+		res, err := lockfree.CC(adj, lockfree.Config{Workers: workers})
+		if err != nil {
+			return err
+		}
+		report(start, res.Stats.String())
+	case algo == "cc" && engine == "serial":
+		if _, err := baseline.SerialCC(adj); err != nil {
+			return err
+		}
+		report(start, "serial BFS-labelling CC")
+	case algo == "cc" && engine == "levelsync":
+		if _, err := baseline.LabelPropCC(adj, workers); err != nil {
+			return err
+		}
+		report(start, fmt.Sprintf("label-propagation CC, %d workers", workers))
+	case algo == "cc" && engine == "bsp":
+		c, err := bsp.NewCluster[uint32](adj, ranks)
+		if err != nil {
+			return err
+		}
+		_, stats, err := c.CC()
+		if err != nil {
+			return err
+		}
+		report(start, fmt.Sprintf("BSP CC: %d supersteps, %d messages, max imbalance %.2f",
+			stats.Supersteps, stats.Messages, stats.MaxImbalance()))
+	default:
+		return fmt.Errorf("unsupported -algo %q with -engine %q", algo, engine)
+	}
+	return nil
+}
+
+func maxDegreeVertex(g graph.Adjacency[uint32]) uint64 {
+	best := uint32(0)
+	for v := uint32(0); uint64(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > g.Degree(best) {
+			best = v
+		}
+	}
+	return uint64(best)
+}
+
+func report(start time.Time, detail string) {
+	fmt.Printf("time=%.3fs  %s\n", time.Since(start).Seconds(), detail)
+}

@@ -1,0 +1,77 @@
+// webgraph_cc analyzes the component structure of a web-like graph — the
+// paper's motivating WWW scenario (§I-A): vertices are pages, edges are
+// hyperlinks, and connected components reveal the crawl's reachable mass.
+// The example generates a preferential-attachment web graph, runs the
+// asynchronous CC, and prints a component-size histogram, comparing against
+// the synchronous label-propagation baseline for both agreement and visit
+// counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	const n = 1 << 16
+	fmt.Printf("generating web-like graph with %d pages...\n", n)
+	g, err := gen.WebGraph[uint32](n, 3, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d directed edges (symmetrized)\n\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	res, err := core.CC[uint32](g, core.Config{Workers: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	asyncTime := time.Since(start)
+
+	sizes := res.Sizes()
+	type comp struct {
+		label uint32
+		size  uint64
+	}
+	var comps []comp
+	for label, size := range sizes {
+		comps = append(comps, comp{label, size})
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].size > comps[j].size })
+
+	fmt.Printf("asynchronous CC: %d components in %v (%s)\n", res.NumComponents(), asyncTime.Round(time.Microsecond), res.Stats)
+	fmt.Println("largest components:")
+	for i, c := range comps {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  #%d: label=%d size=%d (%.1f%% of graph)\n",
+			i+1, c.label, c.size, 100*float64(c.size)/float64(n))
+	}
+
+	// Compare against the synchronous label-propagation baseline (the
+	// MTGL-class algorithm of the paper's Table III).
+	start = time.Now()
+	lp, err := baseline.LabelPropCC[uint32](g, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lpTime := time.Since(start)
+	for v := range lp {
+		if lp[v] != res.ID[v] {
+			log.Fatalf("disagreement at vertex %d: async=%d labelprop=%d", v, res.ID[v], lp[v])
+		}
+	}
+	fmt.Printf("\nsynchronous label propagation agrees on every label (%v vs async %v;\n",
+		lpTime.Round(time.Microsecond), asyncTime.Round(time.Microsecond))
+	fmt.Println("relative speed depends on core count and memory latency — see the Table III harness)")
+	fmt.Println("\nthe giant component dominating the graph is the paper's expected web structure:")
+	fmt.Printf("  giant covers %.1f%% of pages; %d small components remain\n",
+		100*float64(comps[0].size)/float64(n), len(comps)-1)
+}

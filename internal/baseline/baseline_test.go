@@ -1,0 +1,289 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func lineGraph(t testing.TB, n uint32) *graph.CSR[uint32] {
+	t.Helper()
+	b := graph.NewBuilder[uint32](uint64(n), false)
+	for i := uint32(0); i+1 < n; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	g, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSerialBFSLine(t *testing.T) {
+	g := lineGraph(t, 10)
+	levels, err := SerialBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 10; v++ {
+		if levels[v] != graph.Dist(v) {
+			t.Fatalf("level[%d] = %d", v, levels[v])
+		}
+	}
+	if _, err := SerialBFS(g, 99); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestSerialBFSUnreachable(t *testing.T) {
+	b := graph.NewBuilder[uint32](4, false)
+	b.AddEdge(0, 1, 1)
+	g, _ := b.Build(false)
+	levels, err := SerialBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[2] != graph.InfDist || levels[3] != graph.InfDist {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestSerialDijkstraKnownGraph(t *testing.T) {
+	b := graph.NewBuilder[uint32](5, true)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(0, 2, 3)
+	b.AddEdge(2, 1, 4)
+	b.AddEdge(1, 3, 2)
+	b.AddEdge(2, 3, 8)
+	b.AddEdge(3, 4, 7)
+	g, _ := b.Build(false)
+	dist, parent, err := SerialDijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Dist{0, 7, 3, 9, 16}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+	if parent[1] != 2 || parent[3] != 1 {
+		t.Fatalf("parents = %v", parent)
+	}
+	if _, _, err := SerialDijkstra(g, 9); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestSerialCCThreeComponents(t *testing.T) {
+	b := graph.NewBuilder[uint32](7, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.Symmetrize()
+	g, _ := b.Build(true)
+	ids, err := SerialCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 0, 0, 3, 3, 5, 6}
+	for v, id := range want {
+		if ids[v] != id {
+			t.Fatalf("id[%d] = %d, want %d", v, ids[v], id)
+		}
+	}
+}
+
+func randomUndirected(t testing.TB, n uint64, m int, seed uint64) *graph.CSR[uint32] {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, 99))
+	b := graph.NewBuilder[uint32](n, false)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(r.Uint64N(n)), uint32(r.Uint64N(n)), 1)
+	}
+	b.Symmetrize()
+	g, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLevelSyncBFSMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomUndirected(t, 300, 900, seed)
+		want, err := SerialBFS(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, err := LevelSyncBFS(g, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed=%d workers=%d level[%d] = %d, want %d",
+						seed, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+	if _, err := LevelSyncBFS(lineGraph(t, 3), 9, 2); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestLevelSyncBFSZeroWorkersDefaults(t *testing.T) {
+	g := lineGraph(t, 5)
+	got, err := LevelSyncBFS(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[4] != 4 {
+		t.Fatalf("level[4] = %d", got[4])
+	}
+}
+
+func TestLabelPropCCMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomUndirected(t, 200, 300, seed)
+		want, err := SerialCC(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			got, err := LabelPropCC(g, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed=%d workers=%d id[%d] = %d, want %d",
+						seed, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestUnionFindCCMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomUndirected(t, 200, 300, seed)
+		want, err := SerialCC(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 16} {
+			got, err := UnionFindCC(g, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed=%d workers=%d id[%d] = %d, want %d",
+						seed, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestCCVariantsOnEmptyAndSingleton(t *testing.T) {
+	empty, _ := graph.FromEdges[uint32](0, false, false, nil)
+	if ids, _ := SerialCC(empty); len(ids) != 0 {
+		t.Fatal("SerialCC on empty graph")
+	}
+	if ids, _ := LabelPropCC(empty, 2); len(ids) != 0 {
+		t.Fatal("LabelPropCC on empty graph")
+	}
+	if ids, _ := UnionFindCC(empty, 2); len(ids) != 0 {
+		t.Fatal("UnionFindCC on empty graph")
+	}
+	single, _ := graph.FromEdges[uint32](1, false, false, nil)
+	if ids, _ := SerialCC(single); ids[0] != 0 {
+		t.Fatal("singleton label")
+	}
+	if ids, _ := LabelPropCC(single, 2); ids[0] != 0 {
+		t.Fatal("singleton label (labelprop)")
+	}
+	if ids, _ := UnionFindCC(single, 2); ids[0] != 0 {
+		t.Fatal("singleton label (unionfind)")
+	}
+}
+
+// Property: the three CC implementations agree on arbitrary undirected
+// graphs at varying worker counts.
+func TestQuickCCAgreement(t *testing.T) {
+	type rawEdge struct{ S, D uint8 }
+	f := func(raw []rawEdge, w uint8) bool {
+		const n = 80
+		workers := int(w%7) + 1
+		b := graph.NewBuilder[uint32](n, false)
+		for _, e := range raw {
+			b.AddEdge(uint32(e.S)%n, uint32(e.D)%n, 1)
+		}
+		b.Symmetrize()
+		g, err := b.Build(true)
+		if err != nil {
+			return false
+		}
+		want, err := SerialCC(g)
+		if err != nil {
+			return false
+		}
+		lp, err := LabelPropCC(g, workers)
+		if err != nil {
+			return false
+		}
+		uf, err := UnionFindCC(g, workers)
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if lp[v] != want[v] || uf[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: level-sync BFS equals serial BFS on arbitrary digraphs.
+func TestQuickLevelSyncEquivalence(t *testing.T) {
+	type rawEdge struct{ S, D uint8 }
+	f := func(raw []rawEdge, w uint8) bool {
+		const n = 80
+		workers := int(w%5) + 1
+		edges := make([]graph.Edge[uint32], len(raw))
+		for i, e := range raw {
+			edges[i] = graph.Edge[uint32]{Src: uint32(e.S) % n, Dst: uint32(e.D) % n}
+		}
+		g, err := graph.FromEdges(n, false, true, edges)
+		if err != nil {
+			return false
+		}
+		want, err := SerialBFS(g, 0)
+		if err != nil {
+			return false
+		}
+		got, err := LevelSyncBFS(g, 0, workers)
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// DeltaStepping is Meyer & Sanders' Δ-stepping parallel SSSP, the standard
+// shared-memory parallel shortest-path comparator: vertices are bucketed by
+// distance/Δ, one bucket is settled at a time (light edges relaxed to a
+// fixpoint inside the bucket, then heavy edges once), and workers process a
+// bucket's requests in parallel with a barrier per phase. Where the paper's
+// asynchronous SSSP has no global ordering at all, Δ-stepping is
+// partially-ordered-with-barriers; the contrast is what the engine ablations
+// measure.
+func DeltaStepping[V graph.Vertex](g graph.Adjacency[V], src V, delta graph.Dist, workers int) ([]graph.Dist, error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("baseline: source %d out of range for %d vertices", src, n)
+	}
+	if delta == 0 {
+		delta = 1
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	// buckets[b] holds vertices whose tentative distance is in
+	// [b*delta, (b+1)*delta). Vertices may appear in multiple buckets; stale
+	// entries are filtered on removal.
+	buckets := make(map[uint64][]V)
+	var mu sync.Mutex // guards dist + buckets during parallel relaxation
+
+	relax := func(v V, nd graph.Dist) {
+		if nd < dist[v] {
+			dist[v] = nd
+			b := uint64(nd / delta)
+			buckets[b] = append(buckets[b], v)
+		}
+	}
+
+	relaxBatch := func(reqs []request[V]) {
+		if len(reqs) == 0 {
+			return
+		}
+		// Requests are generated in parallel but applied under one lock;
+		// contention is the price of the shared bucket structure (the
+		// paper's per-thread queues avoid exactly this).
+		mu.Lock()
+		for _, r := range reqs {
+			relax(r.v, r.d)
+		}
+		mu.Unlock()
+	}
+
+	relax(src, 0)
+	for {
+		// Find the smallest non-empty bucket.
+		cur, ok := minBucket(buckets)
+		if !ok {
+			break
+		}
+		var settled []V
+		// Phase 1: repeatedly relax light edges (w <= delta) of the current
+		// bucket until it stops refilling.
+		for {
+			verts := buckets[cur]
+			delete(buckets, cur)
+			if len(verts) == 0 {
+				break
+			}
+			verts = filterCurrent(verts, dist, delta, cur)
+			settled = append(settled, verts...)
+			reqs, err := genRequests(g, verts, dist, workers, func(w graph.Weight) bool {
+				return graph.Dist(w) <= delta
+			})
+			if err != nil {
+				return nil, err
+			}
+			relaxBatch(reqs)
+			if len(buckets[cur]) == 0 {
+				break
+			}
+		}
+		// Phase 2: heavy edges of everything settled in this bucket, once.
+		reqs, err := genRequests(g, settled, dist, workers, func(w graph.Weight) bool {
+			return graph.Dist(w) > delta
+		})
+		if err != nil {
+			return nil, err
+		}
+		relaxBatch(reqs)
+	}
+	return dist, nil
+}
+
+type request[V graph.Vertex] struct {
+	v V
+	d graph.Dist
+}
+
+func minBucket[V graph.Vertex](buckets map[uint64][]V) (uint64, bool) {
+	min := uint64(0)
+	found := false
+	for b, verts := range buckets {
+		if len(verts) == 0 {
+			continue
+		}
+		if !found || b < min {
+			min = b
+			found = true
+		}
+	}
+	return min, found
+}
+
+// filterCurrent drops stale bucket entries: vertices whose tentative
+// distance no longer falls in the bucket being processed.
+func filterCurrent[V graph.Vertex](verts []V, dist []graph.Dist, delta graph.Dist, cur uint64) []V {
+	out := verts[:0]
+	seen := make(map[V]bool, len(verts))
+	for _, v := range verts {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if dist[v] != graph.InfDist && uint64(dist[v]/delta) == cur {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// genRequests expands the edges of verts in parallel, producing relaxation
+// requests for edges passing the weight filter.
+func genRequests[V graph.Vertex](g graph.Adjacency[V], verts []V, dist []graph.Dist, workers int, keep func(graph.Weight) bool) ([]request[V], error) {
+	if len(verts) == 0 {
+		return nil, nil
+	}
+	if workers > len(verts) {
+		workers = len(verts)
+	}
+	parts := make([][]request[V], workers)
+	var errs firstErr
+	var wg sync.WaitGroup
+	chunk := (len(verts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(verts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(verts) {
+			hi = len(verts)
+		}
+		wg.Add(1)
+		go func(w int, part []V) {
+			defer wg.Done()
+			scratch := &graph.Scratch[V]{}
+			var out []request[V]
+			for _, v := range part {
+				base := dist[v]
+				targets, weights, err := g.Neighbors(v, scratch)
+				if err != nil {
+					errs.set(err)
+					return
+				}
+				for i, t := range targets {
+					wt := graph.Weight(1)
+					if weights != nil {
+						wt = weights[i]
+					}
+					if keep(wt) {
+						out = append(out, request[V]{v: t, d: base + graph.Dist(wt)})
+					}
+				}
+			}
+			parts[w] = out
+		}(w, verts[lo:hi])
+	}
+	wg.Wait() // the per-phase barrier
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	var all []request[V]
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all, nil
+}

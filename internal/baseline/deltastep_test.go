@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomWeighted(t testing.TB, n uint64, m int, maxW uint64, seed uint64) *graph.CSR[uint32] {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, 17))
+	b := graph.NewBuilder[uint32](n, true)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(r.Uint64N(n)), uint32(r.Uint64N(n)), graph.Weight(r.Uint64N(maxW)))
+	}
+	g, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomWeighted(t, 300, 1800, 100, seed)
+		want, _, err := SerialDijkstra[uint32](g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, delta := range []graph.Dist{1, 8, 64, 1000} {
+			for _, workers := range []int{1, 4} {
+				got, err := DeltaStepping[uint32](g, 0, delta, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("seed=%d delta=%d workers=%d: dist[%d] = %d, want %d",
+							seed, delta, workers, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingUnweightedGraph(t *testing.T) {
+	// Unweighted adjacency: every edge weight reads as 1, so Δ-stepping
+	// degenerates to BFS.
+	g := lineGraph(t, 20)
+	got, err := DeltaStepping[uint32](g, 0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 20; v++ {
+		if got[v] != graph.Dist(v) {
+			t.Fatalf("dist[%d] = %d", v, got[v])
+		}
+	}
+}
+
+func TestDeltaSteppingEdgeCases(t *testing.T) {
+	g := lineGraph(t, 3)
+	if _, err := DeltaStepping[uint32](g, 9, 4, 2); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	// delta=0 and workers=0 fall back to sane defaults.
+	got, err := DeltaStepping[uint32](g, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 2 {
+		t.Fatalf("dist[2] = %d", got[2])
+	}
+	// Zero-weight cycles must terminate.
+	b := graph.NewBuilder[uint32](2, true)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 0, 0)
+	zg, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DeltaStepping[uint32](zg, 0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 0 {
+		t.Fatalf("dist[1] = %d", got[1])
+	}
+}
+
+// Property: Δ-stepping equals Dijkstra for arbitrary graphs, deltas, and
+// worker counts.
+func TestQuickDeltaStepping(t *testing.T) {
+	type rawEdge struct {
+		S, D uint8
+		W    uint8
+	}
+	f := func(raw []rawEdge, d uint8, wk uint8) bool {
+		const n = 64
+		delta := graph.Dist(d%32) + 1
+		workers := int(wk%4) + 1
+		b := graph.NewBuilder[uint32](n, true)
+		for _, e := range raw {
+			b.AddEdge(uint32(e.S)%n, uint32(e.D)%n, graph.Weight(e.W))
+		}
+		g, err := b.Build(true)
+		if err != nil {
+			return false
+		}
+		want, _, err := SerialDijkstra[uint32](g, 0)
+		if err != nil {
+			return false
+		}
+		got, err := DeltaStepping[uint32](g, 0, delta, workers)
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// firstErr collects the first error seen across worker goroutines.
+type firstErr struct {
+	once sync.Once
+	err  error
+}
+
+func (f *firstErr) set(err error) {
+	if err != nil {
+		f.once.Do(func() { f.err = err })
+	}
+}
+
+// LevelSyncBFS is a barrier-synchronized parallel breadth-first search, the
+// algorithmic class implemented by MTGL on SMP systems: the frontier of
+// level i is split across workers, discovered vertices are claimed with a
+// CAS on the level array, and a barrier separates levels. This is the
+// "currently accepted synchronous technique" whose per-level load imbalance
+// the paper's asynchronous design removes.
+func LevelSyncBFS[V graph.Vertex](g graph.Adjacency[V], src V, workers int) ([]graph.Dist, error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("baseline: source %d out of range for %d vertices", src, n)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	level := make([]atomic.Uint64, n)
+	for i := range level {
+		level[i].Store(graph.InfDist)
+	}
+	level[src].Store(0)
+	frontier := []V{src}
+	cur := graph.Dist(0)
+	var errs firstErr
+	for len(frontier) > 0 && errs.err == nil {
+		next := cur + 1
+		nextFrontiers := make([][]V, workers)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(w int, part []V) {
+				defer wg.Done()
+				scratch := &graph.Scratch[V]{}
+				var out []V
+				for _, v := range part {
+					targets, _, err := g.Neighbors(v, scratch)
+					if err != nil {
+						errs.set(err)
+						return
+					}
+					for _, t := range targets {
+						if level[t].CompareAndSwap(graph.InfDist, next) {
+							out = append(out, t)
+						}
+					}
+				}
+				nextFrontiers[w] = out
+			}(w, frontier[lo:hi])
+		}
+		wg.Wait() // the per-level barrier
+		frontier = frontier[:0]
+		for _, part := range nextFrontiers {
+			frontier = append(frontier, part...)
+		}
+		cur = next
+	}
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	out := make([]graph.Dist, n)
+	for i := range level {
+		out[i] = level[i].Load()
+	}
+	return out, nil
+}
+
+// VertexScanBFS is a level-synchronous BFS that re-scans the whole vertex
+// set every level instead of maintaining a frontier — the simple
+// OpenMP-style pattern (SNAP-class) whose work per level is O(n) regardless
+// of frontier size. On graphs with many levels or heavy skew it wastes most
+// of its scans, which is how the paper's SNAP column "struggles with the
+// highly skewed degree distribution of the RMAT-B datasets".
+func VertexScanBFS[V graph.Vertex](g graph.Adjacency[V], src V, workers int) ([]graph.Dist, error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("baseline: source %d out of range for %d vertices", src, n)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	level := make([]atomic.Uint64, n)
+	for i := range level {
+		level[i].Store(graph.InfDist)
+	}
+	level[src].Store(0)
+	cur := graph.Dist(0)
+	var errs firstErr
+	for errs.err == nil {
+		var found atomic.Bool
+		var wg sync.WaitGroup
+		chunk := (n + uint64(workers) - 1) / uint64(workers)
+		for w := 0; w < workers; w++ {
+			lo := uint64(w) * chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				scratch := &graph.Scratch[V]{}
+				for v := lo; v < hi; v++ {
+					if level[v].Load() != uint64(cur) {
+						continue
+					}
+					targets, _, err := g.Neighbors(V(v), scratch)
+					if err != nil {
+						errs.set(err)
+						return
+					}
+					for _, t := range targets {
+						if level[t].CompareAndSwap(graph.InfDist, uint64(cur)+1) {
+							found.Store(true)
+						}
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait() // the per-level barrier
+		if !found.Load() {
+			break
+		}
+		cur++
+	}
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	out := make([]graph.Dist, n)
+	for i := range level {
+		out[i] = level[i].Load()
+	}
+	return out, nil
+}
+
+// LabelPropCC is a synchronous parallel label-propagation connected
+// components: every vertex repeatedly adopts the minimum label among itself
+// and its neighbors, with a barrier per iteration (the bulk-synchronous
+// analogue of MTGL's CC). Converges in O(diameter) rounds over the whole
+// vertex set, which is exactly the redundant work the asynchronous version
+// avoids.
+func LabelPropCC[V graph.Vertex](g graph.Adjacency[V], workers int) ([]V, error) {
+	n := g.NumVertices()
+	if workers <= 0 {
+		workers = 1
+	}
+	labels := make([]atomic.Uint64, n)
+	for i := range labels {
+		labels[i].Store(uint64(i))
+	}
+	var errs firstErr
+	for errs.err == nil {
+		var changed atomic.Bool
+		var wg sync.WaitGroup
+		chunk := (n + uint64(workers) - 1) / uint64(workers)
+		for w := 0; w < workers; w++ {
+			lo := uint64(w) * chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				scratch := &graph.Scratch[V]{}
+				for v := lo; v < hi; v++ {
+					min := labels[v].Load()
+					targets, _, err := g.Neighbors(V(v), scratch)
+					if err != nil {
+						errs.set(err)
+						return
+					}
+					for _, t := range targets {
+						if l := labels[t].Load(); l < min {
+							min = l
+						}
+					}
+					// Monotone decrease; retry CAS so concurrent writers
+					// cannot raise a label.
+					for {
+						old := labels[v].Load()
+						if min >= old {
+							break
+						}
+						if labels[v].CompareAndSwap(old, min) {
+							changed.Store(true)
+							break
+						}
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait() // the per-iteration barrier
+		if !changed.Load() {
+			break
+		}
+	}
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	out := make([]V, n)
+	for i := range out {
+		out[i] = V(labels[i].Load())
+	}
+	return out, nil
+}
+
+// UnionFindCC is a lock-free concurrent union-find connected components
+// (union by id with path halving), the asymptotically strongest shared-memory
+// baseline. Labels are canonicalized to the minimum vertex id of each
+// component for comparability.
+func UnionFindCC[V graph.Vertex](g graph.Adjacency[V], workers int) ([]V, error) {
+	n := g.NumVertices()
+	if workers <= 0 {
+		workers = 1
+	}
+	parent := make([]atomic.Uint64, n)
+	for i := range parent {
+		parent[i].Store(uint64(i))
+	}
+	find := func(x uint64) uint64 {
+		for {
+			p := parent[x].Load()
+			if p == x {
+				return x
+			}
+			gp := parent[p].Load()
+			if gp != p {
+				parent[x].CompareAndSwap(p, gp) // path halving
+			}
+			x = p
+		}
+	}
+	union := func(a, b uint64) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Attach the larger root under the smaller, so roots are
+			// component minima.
+			if parent[rb].CompareAndSwap(rb, ra) {
+				return
+			}
+		}
+	}
+	var errs firstErr
+	var wg sync.WaitGroup
+	chunk := (n + uint64(workers) - 1) / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			scratch := &graph.Scratch[V]{}
+			for v := lo; v < hi; v++ {
+				targets, _, err := g.Neighbors(V(v), scratch)
+				if err != nil {
+					errs.set(err)
+					return
+				}
+				for _, t := range targets {
+					union(v, uint64(t))
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if errs.err != nil {
+		return nil, errs.err
+	}
+	out := make([]V, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = V(find(i))
+	}
+	return out, nil
+}

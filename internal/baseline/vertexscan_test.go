@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestVertexScanBFSMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomUndirected(t, 250, 700, seed)
+		want, err := SerialBFS(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := VertexScanBFS(g, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed=%d workers=%d level[%d] = %d, want %d",
+						seed, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+	if _, err := VertexScanBFS(lineGraph(t, 3), 9, 2); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestVertexScanBFSZeroWorkers(t *testing.T) {
+	g := lineGraph(t, 6)
+	got, err := VertexScanBFS(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != 5 {
+		t.Fatalf("level[5] = %d", got[5])
+	}
+}
+
+func TestQuickVertexScanEquivalence(t *testing.T) {
+	type rawEdge struct{ S, D uint8 }
+	f := func(raw []rawEdge, w uint8) bool {
+		const n = 70
+		workers := int(w%4) + 1
+		edges := make([]graph.Edge[uint32], len(raw))
+		for i, e := range raw {
+			edges[i] = graph.Edge[uint32]{Src: uint32(e.S) % n, Dst: uint32(e.D) % n}
+		}
+		g, err := graph.FromEdges(n, false, true, edges)
+		if err != nil {
+			return false
+		}
+		want, err := SerialBFS(g, 0)
+		if err != nil {
+			return false
+		}
+		got, err := VertexScanBFS(g, 0, workers)
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

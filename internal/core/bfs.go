@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// BFSResult holds the output of a breadth-first search: per-vertex level and
+// parent plus traversal statistics used by the benchmark harness (the paper's
+// Table I reports the number of levels and the fraction of vertices visited).
+type BFSResult[V graph.Vertex] struct {
+	Level  []graph.Dist // InfDist for unreachable vertices
+	Parent []V
+	Stats  Stats
+}
+
+// Reached reports whether v was reached from the source.
+func (r *BFSResult[V]) Reached(v V) bool { return r.Level[v] != graph.InfDist }
+
+// NumLevels returns the number of BFS levels (max level + 1), 0 if nothing
+// was reached.
+func (r *BFSResult[V]) NumLevels() int {
+	max := graph.Dist(0)
+	seen := false
+	for _, l := range r.Level {
+		if l == graph.InfDist {
+			continue
+		}
+		seen = true
+		if l > max {
+			max = l
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return int(max) + 1
+}
+
+// FracVisited returns the fraction of vertices reached, the "% vis" column of
+// Table I.
+func (r *BFSResult[V]) FracVisited() float64 {
+	if len(r.Level) == 0 {
+		return 0
+	}
+	reached := 0
+	for _, l := range r.Level {
+		if l != graph.InfDist {
+			reached++
+		}
+	}
+	return float64(reached) / float64(len(r.Level))
+}
+
+// BFS computes a breadth-first search by applying the asynchronous SSSP
+// traversal with all edge weights equal to 1 (§III-B). The visitor ignores
+// any weight array, so the same code path serves weighted graph storage.
+func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V], error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
+	}
+	res := &BFSResult[V]{
+		Level:  make([]graph.Dist, n),
+		Parent: make([]V, n),
+	}
+	for i := range res.Level {
+		res.Level[i] = graph.InfDist
+		res.Parent[i] = graph.NoVertex[V]()
+	}
+
+	e := New[V](cfg, func(ctx *Ctx[V], it pq.Item) error {
+		v := V(it.V)
+		if it.Pri >= res.Level[v] {
+			return nil
+		}
+		res.Level[v] = it.Pri
+		res.Parent[v] = V(it.Aux)
+		targets, _, err := g.Neighbors(v, ctx.Scratch)
+		if err != nil {
+			return err
+		}
+		next := it.Pri + 1
+		for _, t := range targets {
+			ctx.Push(next, t, uint64(v))
+		}
+		return nil
+	})
+	e.Start()
+	e.Push(0, src, uint64(src))
+	st, err := e.Wait()
+	res.Stats = st
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,340 @@
+// Package core implements the paper's primary contribution: a multithreaded
+// asynchronous visitor-queue engine for graph traversal (§III).
+//
+// The engine runs N workers; each worker owns one prioritized visitor queue.
+// A visitor destined for vertex v is pushed to the queue selected by a hash
+// of v, so a vertex is only ever visited by its owning worker. That ownership
+// discipline provides the paper's "exclusive access to a vertex when
+// executing, removing the need for additional vertex-level locking", and a
+// near-uniform hash spreads high-cost hub vertices across queues for load
+// balance. There are no barriers between traversal steps: workers run
+// label-correcting visitors fully asynchronously and the traversal completes
+// when every queued visitor has finished (termination is detected with an
+// atomic outstanding-work counter).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Config controls an Engine run.
+type Config struct {
+	// Workers is the number of worker goroutines, each owning one visitor
+	// queue. The paper oversubscribes (512 threads on 16 cores) to reduce
+	// queue lock contention; values far above GOMAXPROCS are expected and
+	// cheap with goroutines. Defaults to 4 x GOMAXPROCS.
+	Workers int
+	// SemiSort enables the secondary vertex-id sort key inside each queue,
+	// the paper's semi-external locality optimization (§IV-C).
+	SemiSort bool
+	// Hash maps a vertex id to a queue-selection value. Defaults to a
+	// Fibonacci multiplicative hash. An identity hash is provided for the
+	// hash-quality ablation.
+	Hash func(uint64) uint64
+	// CoarseShift coarsens queue priority comparison to 2^CoarseShift-wide
+	// buckets (Δ-stepping-style). 0 keeps exact priority order. Coarser
+	// buckets trade extra label corrections for cheaper ordering and, with
+	// SemiSort, longer sorted runs of vertex ids.
+	CoarseShift uint8
+	// Queue selects the per-worker queue implementation. The default binary
+	// heap supports SemiSort and CoarseShift; the bucket queue is faster for
+	// small integer priority domains (BFS levels) but is FIFO within a
+	// priority.
+	Queue QueueKind
+}
+
+// QueueKind selects the per-worker visitor queue implementation.
+type QueueKind int
+
+const (
+	// QueueHeap is a binary min-heap on (priority, optional vertex id).
+	QueueHeap QueueKind = iota
+	// QueueBucket is a two-level bucket queue: O(1) push into an existing
+	// priority bucket, FIFO within a bucket. Ignores SemiSort/CoarseShift.
+	QueueBucket
+)
+
+func (c Config) newQueue() pq.Queue {
+	switch c.Queue {
+	case QueueBucket:
+		return pq.NewBucket()
+	default:
+		return pq.NewCoarse(c.SemiSort, c.CoarseShift)
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.Hash == nil {
+		c.Hash = FibHash
+	}
+}
+
+// FibHash is the default queue-selection hash: Fibonacci multiplicative
+// hashing, near-uniform for sequential vertex ids.
+func FibHash(v uint64) uint64 { return v * 0x9E3779B97F4A7C15 }
+
+// IdentityHash assigns queues by raw vertex id (modulo queue count). Used by
+// the hash-quality ablation; poor for clustered ids.
+func IdentityHash(v uint64) uint64 { return v }
+
+// Stats summarizes a completed traversal.
+type Stats struct {
+	Visits   uint64 // visitors executed (a vertex may be visited many times)
+	Pushes   uint64 // visitors queued
+	MaxQueue int    // high-water mark across all visitor queues
+	Workers  int    // worker count used
+	// PeakOutstanding is the maximum number of simultaneously queued or
+	// executing visitors: a direct measurement of the graph's available
+	// path parallelism (§III-B1 — the chain of Figure 2 pins this near 1,
+	// scale-free graphs push it toward the frontier size).
+	PeakOutstanding int64
+	// WorkerVisits is the per-worker visit count, for load-balance analysis
+	// (§III-A: the near-uniform hash should spread hub vertices evenly).
+	WorkerVisits []uint64
+}
+
+// Imbalance returns max-visits-per-worker divided by mean (1.0 = perfectly
+// balanced), or 0 when no work ran.
+func (s Stats) Imbalance() float64 {
+	var total, max uint64
+	for _, v := range s.WorkerVisits {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 || len(s.WorkerVisits) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(s.WorkerVisits))
+	return float64(max) / mean
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("visits=%d pushes=%d maxQueue=%d peak=%d workers=%d",
+		s.Visits, s.Pushes, s.MaxQueue, s.PeakOutstanding, s.Workers)
+}
+
+// Ctx is the per-worker context handed to every visitor invocation. It
+// carries the worker's scratch buffers (for semi-external adjacency reads)
+// and the push interface used to queue adjacent visitors.
+type Ctx[V graph.Vertex] struct {
+	engine  *Engine[V]
+	Worker  int
+	Scratch *graph.Scratch[V]
+	visits  uint64
+	pushes  uint64
+}
+
+// Push queues a visitor for vertex v with the given priority and payload.
+func (c *Ctx[V]) Push(pri uint64, v V, aux uint64) {
+	c.pushes++
+	c.engine.Push(pri, v, aux)
+}
+
+// VisitFunc is the vertex visitor body (the paper's Algorithm 2 / 4). It
+// runs with exclusive access to per-vertex state of it.V and may push
+// further visitors through ctx.
+type VisitFunc[V graph.Vertex] func(ctx *Ctx[V], it pq.Item) error
+
+type workQueue struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	heap pq.Queue
+	done bool
+}
+
+func (q *workQueue) push(it pq.Item) {
+	q.mu.Lock()
+	q.heap.Push(it)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the engine is done.
+func (q *workQueue) pop() (pq.Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if it, ok := q.heap.Pop(); ok {
+			return it, true
+		}
+		if q.done {
+			return pq.Item{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *workQueue) finish() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Engine is a single-traversal asynchronous visitor-queue executor. Create
+// with New, call Start, push the initial visitor(s), then Wait. Engines are
+// single-shot: a finished engine cannot be restarted.
+type Engine[V graph.Vertex] struct {
+	cfg    Config
+	visit  VisitFunc[V]
+	queues []*workQueue
+	wg     sync.WaitGroup
+
+	// outstanding counts queued-but-unfinished visitors plus one "init
+	// token" held until Wait is called, so the count cannot reach zero while
+	// the caller is still issuing initial pushes.
+	outstanding atomic.Int64
+	peak        atomic.Int64
+	aborted     atomic.Bool
+	finishOnce  sync.Once
+	errOnce     sync.Once
+	err         error
+
+	visits atomic.Uint64
+	pushes atomic.Uint64
+
+	// workerVisits[i] is written only by worker i and read after wg.Wait.
+	workerVisits []uint64
+}
+
+// New creates an engine that will execute visit for every queued visitor.
+func New[V graph.Vertex](cfg Config, visit VisitFunc[V]) *Engine[V] {
+	cfg.normalize()
+	e := &Engine[V]{cfg: cfg, visit: visit}
+	e.workerVisits = make([]uint64, cfg.Workers)
+	e.queues = make([]*workQueue, cfg.Workers)
+	for i := range e.queues {
+		q := &workQueue{heap: cfg.newQueue()}
+		q.cond.L = &q.mu
+		e.queues[i] = q
+	}
+	e.outstanding.Store(1) // init token, released by Wait
+	return e
+}
+
+// Start launches the worker goroutines. It must be called exactly once,
+// before Wait.
+func (e *Engine[V]) Start() {
+	e.wg.Add(len(e.queues))
+	for i := range e.queues {
+		go e.worker(i)
+	}
+}
+
+// Push queues a visitor for v. Safe for concurrent use, including from
+// within visitors.
+func (e *Engine[V]) Push(pri uint64, v V, aux uint64) {
+	if out := e.outstanding.Add(1); out > e.peak.Load() {
+		// Racy max update: losing an occasional increment only understates
+		// the peak slightly, which is acceptable for instrumentation.
+		e.peak.Store(out)
+	}
+	q := e.queues[e.cfg.Hash(uint64(v))%uint64(len(e.queues))]
+	q.push(pq.Item{Pri: pri, V: uint64(v), Aux: aux})
+}
+
+// ParallelInit pushes n initial visitors concurrently, the paper's
+// "for all v in g.vertex_list() parallel do" loop (Algorithm 3). gen is
+// invoked once per index i in [0, n).
+func (e *Engine[V]) ParallelInit(n uint64, gen func(i uint64) (pri uint64, v V, aux uint64)) {
+	par := uint64(runtime.GOMAXPROCS(0))
+	if par > n {
+		par = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + par - 1) / par
+	for p := uint64(0); p < par; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pri, v, aux := gen(i)
+				e.Push(pri, v, aux)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Wait releases the init token and blocks until the traversal terminates
+// (all visitor queues empty and all visitors complete — the paper's
+// pri_q_visit.wait()). It returns aggregate statistics and the first visitor
+// error, if any.
+func (e *Engine[V]) Wait() (Stats, error) {
+	if e.outstanding.Add(-1) == 0 {
+		e.finish()
+	}
+	e.wg.Wait()
+	st := Stats{
+		Visits:          e.visits.Load(),
+		Pushes:          e.pushes.Load(),
+		Workers:         len(e.queues),
+		PeakOutstanding: e.peak.Load() - 1, // exclude the init token
+		WorkerVisits:    e.workerVisits,
+	}
+	if st.PeakOutstanding < 0 {
+		st.PeakOutstanding = 0
+	}
+	for _, q := range e.queues {
+		if m := q.heap.MaxLen(); m > st.MaxQueue {
+			st.MaxQueue = m
+		}
+	}
+	return st, e.err
+}
+
+func (e *Engine[V]) finish() {
+	e.finishOnce.Do(func() {
+		for _, q := range e.queues {
+			q.finish()
+		}
+	})
+}
+
+func (e *Engine[V]) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.aborted.Store(true)
+}
+
+func (e *Engine[V]) worker(id int) {
+	defer e.wg.Done()
+	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: &graph.Scratch[V]{}}
+	q := e.queues[id]
+	for {
+		it, ok := q.pop()
+		if !ok {
+			e.visits.Add(ctx.visits)
+			e.pushes.Add(ctx.pushes)
+			e.workerVisits[id] = ctx.visits
+			return
+		}
+		if !e.aborted.Load() {
+			ctx.visits++
+			if err := e.visit(ctx, it); err != nil {
+				e.fail(err)
+			}
+		}
+		if e.outstanding.Add(-1) == 0 {
+			e.finish()
+		}
+	}
+}

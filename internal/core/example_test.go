@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// The basic workflow: build a CSR, run a traversal, read the labels.
+func Example() {
+	b := graph.NewBuilder[uint32](4, true)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 4)
+	b.AddEdge(0, 2, 10)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.SSSP[uint32](g, 0, core.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Dist)
+	// Output: [0 3 7 8]
+}
+
+func ExampleBFS() {
+	b := graph.NewBuilder[uint32](5, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 3, 1)
+	g, err := b.Build(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.BFS[uint32](g, 0, core.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Level[2], res.NumLevels(), res.Reached(4))
+	// Output: 2 3 false
+}
+
+func ExampleCC() {
+	b := graph.NewBuilder[uint32](5, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(3, 4, 1)
+	b.Symmetrize()
+	g, err := b.Build(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.CC[uint32](g, core.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.NumComponents(), res.ID)
+	// Output: 3 [0 0 2 3 3]
+}
+
+func ExampleSSSPResult_PathTo() {
+	b := graph.NewBuilder[uint32](4, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 5)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.SSSP[uint32](g, 0, core.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := res.PathTo(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(path, res.Dist[3])
+	// Output: [0 1 2 3] 3
+}
+
+// A custom visitor on the raw engine: count vertices within 2 hops.
+func ExampleNew() {
+	b := graph.NewBuilder[uint32](6, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	g, err := b.Build(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := make([]bool, g.NumVertices())
+	e := core.New[uint32](core.Config{Workers: 2}, func(ctx *core.Ctx[uint32], it pq.Item) error {
+		v := uint32(it.V)
+		if seen[v] {
+			return nil
+		}
+		seen[v] = true
+		if it.Pri >= 2 { // radius reached
+			return nil
+		}
+		targets, _, err := g.Neighbors(v, ctx.Scratch)
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			ctx.Push(it.Pri+1, t, uint64(v))
+		}
+		return nil
+	})
+	e.Start()
+	e.Push(0, 0, 0)
+	if _, err := e.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	for _, s := range seen {
+		if s {
+			count++
+		}
+	}
+	fmt.Println(count)
+	// Output: 3
+}

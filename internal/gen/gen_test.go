@@ -1,0 +1,364 @@
+package gen
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestRMATSizes(t *testing.T) {
+	const scale, deg = 10, 8
+	g, err := RMAT[uint32](scale, deg, RMATA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(1) << scale
+	if g.NumVertices() != n {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), n)
+	}
+	// Duplicates are removed, so edges <= n*deg, but most should survive.
+	if g.NumEdges() > n*deg {
+		t.Fatalf("m = %d > generated %d", g.NumEdges(), n*deg)
+	}
+	if g.NumEdges() < n*deg/2 {
+		t.Fatalf("m = %d, too many duplicates (generated %d)", g.NumEdges(), n*deg)
+	}
+}
+
+func TestRMATDeterministicPerSeed(t *testing.T) {
+	a := RMATEdges[uint32](8, 1000, RMATA, 42)
+	b := RMATEdges[uint32](8, 1000, RMATA, 42)
+	c := RMATEdges[uint32](8, 1000, RMATA, 43)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at edge %d", i)
+		}
+	}
+	same := 0
+	for i := range a {
+		if i < len(c) && a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATEdgesInRange(t *testing.T) {
+	const scale = 7
+	n := uint64(1) << scale
+	for _, p := range []RMATParams{RMATA, RMATB} {
+		for _, e := range RMATEdges[uint32](scale, 2000, p, 7) {
+			if uint64(e.Src) >= n || uint64(e.Dst) >= n {
+				t.Fatalf("edge (%d,%d) out of range", e.Src, e.Dst)
+			}
+		}
+	}
+}
+
+// degreeSkew returns the fraction of edges incident to the top 1% of
+// vertices by out-degree.
+func degreeSkew(g *graph.CSR[uint32]) float64 {
+	n := g.NumVertices()
+	degs := make([]int, n)
+	for v := uint64(0); v < n; v++ {
+		degs[v] = g.Degree(uint32(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := int(math.Max(1, float64(n)/100))
+	sum := 0
+	for _, d := range degs[:top] {
+		sum += d
+	}
+	return float64(sum) / float64(g.NumEdges())
+}
+
+func TestRMATBHeavierSkewThanRMATA(t *testing.T) {
+	// The paper: RMAT-B has "heavy out-degree skewness", RMAT-A "moderate".
+	ga, err := RMAT[uint32](12, 16, RMATA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := RMAT[uint32](12, 16, RMATB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := degreeSkew(ga), degreeSkew(gb)
+	if sb <= sa {
+		t.Fatalf("skew(RMAT-B)=%f <= skew(RMAT-A)=%f", sb, sa)
+	}
+}
+
+func TestRMATUndirectedIsSymmetric(t *testing.T) {
+	g, err := RMATUndirected[uint32](8, 4, RMATA, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make(map[[2]uint32]bool)
+	g.ForEachEdge(func(u, v uint32, _ graph.Weight) { adj[[2]uint32{u, v}] = true })
+	for e := range adj {
+		if e[0] != e[1] && !adj[[2]uint32{e[1], e[0]}] {
+			t.Fatalf("missing reverse of %v", e)
+		}
+	}
+}
+
+func TestUniformWeightsRange(t *testing.T) {
+	g, err := RMAT[uint32](8, 8, RMATA, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := UniformWeights(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() {
+		t.Fatal("weights missing")
+	}
+	n := wg.NumVertices()
+	seen := make(map[graph.Weight]bool)
+	wg.ForEachEdge(func(_, _ uint32, w graph.Weight) {
+		if uint64(w) >= n {
+			t.Fatalf("weight %d out of [0, %d)", w, n)
+		}
+		seen[w] = true
+	})
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct weights", len(seen))
+	}
+	// Original graph untouched.
+	if g.Weighted() {
+		t.Fatal("UniformWeights mutated its input")
+	}
+}
+
+func TestLogUniformWeightsSkew(t *testing.T) {
+	g, err := RMAT[uint32](10, 8, RMATA, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := LogUniformWeights(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := bits.Len64(g.NumVertices()) - 1
+	small, total := 0, 0
+	wg.ForEachEdge(func(_, _ uint32, w graph.Weight) {
+		if uint64(w) >= uint64(1)<<lg {
+			t.Fatalf("LUW weight %d >= 2^%d", w, lg)
+		}
+		total++
+		if uint64(w) < g.NumVertices()/32 {
+			small++
+		}
+	})
+	// Log-uniform concentrates mass at small values: far more than the
+	// uniform expectation of total/32.
+	if float64(small) < 3*float64(total)/32 {
+		t.Fatalf("LUW not skewed small: %d/%d", small, total)
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	g, err := Chain[uint32](10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 9 {
+		t.Fatalf("m = %d, want 9", g.NumEdges())
+	}
+	for v := uint32(0); v < 9; v++ {
+		ts, _, _ := g.Neighbors(v, nil)
+		if len(ts) != 1 || ts[0] != v+1 {
+			t.Fatalf("adj(%d) = %v", v, ts)
+		}
+	}
+	if g.Degree(9) != 0 {
+		t.Fatal("last vertex must be a sink")
+	}
+
+	empty, err := Chain[uint32](0)
+	if err != nil || empty.NumVertices() != 0 {
+		t.Fatalf("Chain(0): %v %d", err, empty.NumVertices())
+	}
+	single, err := Chain[uint32](1)
+	if err != nil || single.NumEdges() != 0 {
+		t.Fatalf("Chain(1): %v %d", err, single.NumEdges())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi[uint32](256, 2048, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 2048 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	// ER graphs have low skew compared to RMAT-B at same size/density.
+	gb, err := RMAT[uint32](8, 8, RMATB, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degreeSkew(g) >= degreeSkew(gb) {
+		t.Fatalf("ER skew %f >= RMAT-B skew %f", degreeSkew(g), degreeSkew(gb))
+	}
+}
+
+func TestWebGraphProperties(t *testing.T) {
+	g, err := WebGraph[uint32](2000, 2, 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Symmetric.
+	adj := make(map[[2]uint32]bool)
+	g.ForEachEdge(func(u, v uint32, _ graph.Weight) { adj[[2]uint32{u, v}] = true })
+	for e := range adj {
+		if e[0] != e[1] && !adj[[2]uint32{e[1], e[0]}] {
+			t.Fatalf("missing reverse of %v", e)
+		}
+	}
+	// Preferential attachment produces a giant connected structure from
+	// vertex 0 and skewed degrees.
+	if degreeSkew(g) < 0.03 {
+		t.Fatalf("web graph skew = %f, want skewed hubs", degreeSkew(g))
+	}
+}
+
+// Property: RMAT generation never produces out-of-range endpoints and the
+// built graph's edge count matches the dedup invariant m <= requested.
+func TestQuickRMATInvariants(t *testing.T) {
+	f := func(seed uint64, pick bool) bool {
+		p := RMATA
+		if pick {
+			p = RMATB
+		}
+		const scale = 6
+		g, err := RMAT[uint32](scale, 4, p, seed)
+		if err != nil {
+			return false
+		}
+		n := uint64(1) << scale
+		if g.NumVertices() != n || g.NumEdges() > n*4 {
+			return false
+		}
+		ok := true
+		g.ForEachEdge(func(u, v uint32, _ graph.Weight) {
+			if uint64(u) >= n || uint64(v) >= n {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATScrambleIsBijective(t *testing.T) {
+	// Every vertex must keep a distinct identity: with enough edges, the
+	// set of endpoint ids should cover nearly all of [0, n) — impossible if
+	// the id scramble collides.
+	const scale = 10
+	n := uint64(1) << scale
+	seen := make(map[uint32]bool)
+	for _, e := range RMATEdges[uint32](scale, n*32, RMATA, 99) {
+		seen[e.Src] = true
+		seen[e.Dst] = true
+	}
+	if len(seen) < int(n)*95/100 {
+		t.Fatalf("only %d/%d vertex ids appear; scramble is likely non-bijective", len(seen), n)
+	}
+}
+
+func TestRMATGiantComponent(t *testing.T) {
+	// Undirected RMAT-A at degree 16 must form a giant component covering
+	// most of the graph (the paper's traversals visit 99%% of RMAT-A).
+	g, err := RMATUndirected[uint32](11, 16, RMATA, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := baseline.SerialCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[uint32]int)
+	for _, id := range ids {
+		sizes[id]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	if largest < int(g.NumVertices())*80/100 {
+		t.Fatalf("largest CC = %d of %d; giant component missing", largest, g.NumVertices())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g, err := Grid[uint32](3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Edges: right: 3*3=9, down: 2*4=8.
+	if g.NumEdges() != 17 {
+		t.Fatalf("m = %d, want 17", g.NumEdges())
+	}
+	// Corner degrees.
+	if g.Degree(0) != 2 || g.Degree(11) != 0 || g.Degree(3) != 1 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(11), g.Degree(3))
+	}
+	// BFS level = Manhattan distance from the origin.
+	lv, err := baseline.SerialBFS[uint32](g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := uint64(0); r < 3; r++ {
+		for c := uint64(0); c < 4; c++ {
+			if lv[r*4+c] != r+c {
+				t.Fatalf("level(%d,%d) = %d, want %d", r, c, lv[r*4+c], r+c)
+			}
+		}
+	}
+	if _, err := Grid[uint32](0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridPathParallelismBetweenChainAndStar(t *testing.T) {
+	// Peak outstanding work on a grid sits between the chain (~1) and a
+	// scale-free graph (frontier-sized), per §III-B1.
+	g, err := Grid[uint32](32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.BFS[uint32](g, 0, core.Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := res.Stats.PeakOutstanding
+	if peak < 4 || peak > 1024 {
+		t.Fatalf("grid peak outstanding = %d, want moderate parallelism", peak)
+	}
+}

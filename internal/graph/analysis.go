@@ -1,0 +1,65 @@
+package graph
+
+import "sort"
+
+// Transpose returns the reverse graph: every edge (u, v, w) becomes
+// (v, u, w). Useful for in-neighborhood traversals and for turning a crawl's
+// out-links into in-link structure.
+func Transpose[V Vertex](g *CSR[V]) (*CSR[V], error) {
+	b := NewBuilder[V](g.NumVertices(), g.Weighted())
+	g.ForEachEdge(func(u, v V, w Weight) {
+		b.AddEdge(v, u, w)
+	})
+	return b.Build(false)
+}
+
+// DegreeStats summarizes an out-degree distribution, the property that
+// drives the paper's load-balance discussion (§I-B: hub vertices).
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Median   int
+	P99      int
+	Isolated uint64  // vertices with out-degree 0
+	HubFrac  float64 // fraction of edges incident to the top 1% of vertices
+	NumVerts uint64
+	NumEdges uint64
+}
+
+// Degrees computes the out-degree distribution summary of g.
+func Degrees[V Vertex](g *CSR[V]) DegreeStats {
+	n := g.NumVertices()
+	st := DegreeStats{NumVerts: n, NumEdges: g.NumEdges()}
+	if n == 0 {
+		return st
+	}
+	degs := make([]int, n)
+	for v := uint64(0); v < n; v++ {
+		degs[v] = g.Degree(V(v))
+	}
+	sort.Ints(degs)
+	st.Min = degs[0]
+	st.Max = degs[n-1]
+	st.Median = degs[n/2]
+	st.P99 = degs[n-1-(n-1)/100]
+	total := 0
+	for _, d := range degs {
+		total += d
+		if d == 0 {
+			st.Isolated++
+		}
+	}
+	st.Mean = float64(total) / float64(n)
+	top := n / 100
+	if top == 0 {
+		top = 1
+	}
+	hubEdges := 0
+	for _, d := range degs[n-top:] {
+		hubEdges += d
+	}
+	if total > 0 {
+		st.HubFrac = float64(hubEdges) / float64(total)
+	}
+	return st
+}

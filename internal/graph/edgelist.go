@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the whitespace-separated edge-list text format used by
+// common graph-trace distributions (SNAP datasets, WebGraph ASCII dumps):
+// one "src dst [weight]" triple per line, '#' or '%' comment lines ignored.
+// The vertex count is one past the largest endpoint unless minVertices is
+// larger. Weighted is inferred from the first data line and must then be
+// consistent.
+func ReadEdgeList[V Vertex](r io.Reader, minVertices uint64) (*CSR[V], error) {
+	return ReadEdgeListLimit[V](r, minVertices, 0)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with an upper bound on the vertex count:
+// inputs naming a vertex id >= maxVertices are rejected rather than driving
+// an allocation proportional to the id. maxVertices = 0 means unlimited; set
+// a bound when parsing untrusted input.
+func ReadEdgeListLimit[V Vertex](r io.Reader, minVertices, maxVertices uint64) (*CSR[V], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var edges []Edge[V]
+	maxID := uint64(0)
+	weighted := false
+	first := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src %q: %w", lineNo, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst %q: %w", lineNo, fields[1], err)
+		}
+		if first {
+			weighted = len(fields) == 3
+			first = false
+		} else if (len(fields) == 3) != weighted {
+			return nil, fmt.Errorf("graph: line %d: inconsistent weight column", lineNo)
+		}
+		var w Weight
+		if weighted {
+			w64, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], err)
+			}
+			w = Weight(w64)
+		}
+		if uint64(V(src)) != src || uint64(V(dst)) != dst {
+			return nil, fmt.Errorf("graph: line %d: endpoint exceeds vertex width", lineNo)
+		}
+		if maxVertices > 0 && (src >= maxVertices || dst >= maxVertices) {
+			return nil, fmt.Errorf("graph: line %d: endpoint exceeds vertex limit %d", lineNo, maxVertices)
+		}
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+		edges = append(edges, Edge[V]{Src: V(src), Dst: V(dst), W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	n := minVertices
+	if len(edges) > 0 && maxID+1 > n {
+		n = maxID + 1
+	}
+	return FromEdges(n, weighted, true, edges)
+}
+
+// WriteEdgeList writes g in the text edge-list format ReadEdgeList parses,
+// with a weight column when the graph is weighted.
+func WriteEdgeList[V Vertex](w io.Writer, g *CSR[V]) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "# %d vertices, %d edges, weighted=%v\n",
+		g.NumVertices(), g.NumEdges(), g.Weighted())
+	var err error
+	g.ForEachEdge(func(u, v V, wt Weight) {
+		if err != nil {
+			return
+		}
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", u, v, wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}

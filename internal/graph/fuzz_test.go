@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary text through the edge-list parser: it
+// must never panic, and anything it accepts must satisfy the CSR invariants.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n0 1 5\n")
+	f.Add("")
+	f.Add("0 1 2 3\n")
+	f.Add("999999999999999999999 0\n")
+	f.Add("0 1\n\n\n2 3 9\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := ReadEdgeListLimit[uint32](strings.NewReader(input), 0, 1<<22)
+		if err != nil {
+			return // rejected: fine
+		}
+		n := g.NumVertices()
+		if g.NumEdges() > 0 && n == 0 {
+			t.Fatal("edges without vertices")
+		}
+		total := 0
+		for v := uint64(0); v < n; v++ {
+			deg := g.Degree(uint32(v))
+			if deg < 0 {
+				t.Fatalf("negative degree at %d", v)
+			}
+			total += deg
+			ts, _, _ := g.Neighbors(uint32(v), nil)
+			for _, tgt := range ts {
+				if uint64(tgt) >= n {
+					t.Fatalf("target %d out of range %d", tgt, n)
+				}
+			}
+		}
+		if uint64(total) != g.NumEdges() {
+			t.Fatalf("degree sum %d != m %d", total, g.NumEdges())
+		}
+	})
+}

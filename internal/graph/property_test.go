@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: a CSR built from any edge list contains exactly the input edges
+// (after dedup) and offsets are consistent with per-vertex degrees.
+func TestQuickBuildRoundTrip(t *testing.T) {
+	type rawEdge struct{ S, D uint8 }
+	f := func(raw []rawEdge) bool {
+		const n = 256
+		in := make([]Edge[uint32], len(raw))
+		set := make(map[[2]uint32]bool)
+		for i, e := range raw {
+			in[i] = Edge[uint32]{Src: uint32(e.S), Dst: uint32(e.D)}
+			set[[2]uint32{uint32(e.S), uint32(e.D)}] = true
+		}
+		g, err := FromEdges(n, false, true, in)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() != uint64(len(set)) {
+			return false
+		}
+		// Every stored edge must be in the input set, sorted per vertex.
+		okAll := true
+		g.ForEachEdge(func(u, v uint32, _ Weight) {
+			if !set[[2]uint32{u, v}] {
+				okAll = false
+			}
+		})
+		if !okAll {
+			return false
+		}
+		// Offsets sum check.
+		total := 0
+		for v := uint32(0); v < n; v++ {
+			total += g.Degree(v)
+		}
+		return uint64(total) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: symmetrize yields a symmetric adjacency relation.
+func TestQuickSymmetrizeIsSymmetric(t *testing.T) {
+	type rawEdge struct{ S, D uint8 }
+	f := func(raw []rawEdge) bool {
+		const n = 256
+		b := NewBuilder[uint32](n, false)
+		for _, e := range raw {
+			b.AddEdge(uint32(e.S), uint32(e.D), 1)
+		}
+		b.Symmetrize()
+		g, err := b.Build(true)
+		if err != nil {
+			return false
+		}
+		adj := make(map[[2]uint32]bool)
+		g.ForEachEdge(func(u, v uint32, _ Weight) { adj[[2]uint32{u, v}] = true })
+		for e := range adj {
+			if e[0] != e[1] && !adj[[2]uint32{e[1], e[0]}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// SlowAdj wraps an adjacency with a per-edge access latency, modelling the
+// cache-miss-bound DRAM behaviour of the paper's in-memory runs. The paper's
+// Table I BGL times work out to ~140 ns per edge on 2^29-edge graphs — every
+// adjacency access is a main-memory miss at that scale. The scaled-down
+// graphs used here fit in on-chip cache, so without this model every
+// in-memory competitor would run at L2 speed and the comparison against
+// semi-external storage (Tables IV, V) would be against the wrong baseline.
+//
+// The latency is charged by busy-spinning, matching how a cache miss
+// occupies a core without yielding it.
+type SlowAdj[V graph.Vertex] struct {
+	Inner   graph.Adjacency[V]
+	PerEdge time.Duration
+}
+
+// DRAMPerEdge is the default per-edge charge: the paper's measured BGL
+// throughput (Table I works out to ~65-140 ns per edge; 100 ns midpoint)
+// multiplied by the simulation's ssd.TimeScale so that the DRAM:flash
+// latency ratio matches the paper's hardware. All simulated components —
+// flash service times and DRAM access times — live in the same 10x-dilated
+// time domain; speedup ratios are therefore directly comparable to the
+// paper's.
+const DRAMPerEdge = 1 * time.Microsecond
+
+// NewSlowAdj wraps g with the default DRAM-latency model.
+func NewSlowAdj[V graph.Vertex](g graph.Adjacency[V]) *SlowAdj[V] {
+	return &SlowAdj[V]{Inner: g, PerEdge: DRAMPerEdge}
+}
+
+// NumVertices implements graph.Adjacency.
+func (s *SlowAdj[V]) NumVertices() uint64 { return s.Inner.NumVertices() }
+
+// Degree implements graph.Adjacency.
+func (s *SlowAdj[V]) Degree(v V) int { return s.Inner.Degree(v) }
+
+// Neighbors implements graph.Adjacency, charging PerEdge per returned edge.
+func (s *SlowAdj[V]) Neighbors(v V, scratch *graph.Scratch[V]) ([]V, []graph.Weight, error) {
+	t, w, err := s.Inner.Neighbors(v, scratch)
+	if err != nil {
+		return t, w, err
+	}
+	if n := len(t); n > 0 && s.PerEdge > 0 {
+		spin(time.Duration(n) * s.PerEdge)
+	}
+	return t, w, nil
+}
+
+// spin busy-waits for d, the way a stalled load occupies a core.
+func spin(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}

@@ -1,0 +1,339 @@
+// Package lockfree is the design alternative the paper's engine argues
+// against, implemented for comparison: instead of hashing each vertex to an
+// owning worker (which gives single-writer vertex state for free), any worker
+// may visit any vertex, per-vertex labels are relaxed with compare-and-swap
+// loops, and idle workers steal work from their neighbors.
+//
+// The trade-offs the ablation measures:
+//
+//   - relaxation needs an atomic CAS loop per visit (the paper's ownership
+//     scheme writes plain memory);
+//   - distance and parent cannot be updated together without packing both
+//     into one word, which caps distances at 2^32-1 here;
+//   - work stealing rebalances load without the hash's uniformity assumption.
+//
+// The exported traversals produce exactly the same labels as internal/core
+// and the serial baselines; only the concurrency discipline differs.
+package lockfree
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Config controls a lock-free traversal.
+type Config struct {
+	// Workers is the number of worker goroutines. Defaults to 4 x GOMAXPROCS.
+	Workers int
+	// NoSteal disables work stealing (each worker only drains its own
+	// queue), isolating the stealing contribution in ablations.
+	NoSteal bool
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+}
+
+// Stats summarizes a completed traversal.
+type Stats struct {
+	Visits  uint64 // visitors executed
+	Steals  uint64 // items obtained from another worker's queue
+	CASFail uint64 // failed label CAS attempts (contention indicator)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("visits=%d steals=%d casFail=%d", s.Visits, s.Steals, s.CASFail)
+}
+
+type visitFunc func(w *worker, it pq.Item) error
+
+type queue struct {
+	mu   sync.Mutex
+	heap *pq.Heap
+}
+
+func (q *queue) push(it pq.Item) {
+	q.mu.Lock()
+	q.heap.Push(it)
+	q.mu.Unlock()
+}
+
+func (q *queue) pop() (pq.Item, bool) {
+	q.mu.Lock()
+	it, ok := q.heap.Pop()
+	q.mu.Unlock()
+	return it, ok
+}
+
+type engine struct {
+	cfg     Config
+	queues  []*queue
+	visit   visitFunc
+	workers []*worker
+
+	outstanding atomic.Int64
+	done        atomic.Bool
+	aborted     atomic.Bool
+	errOnce     sync.Once
+	err         error
+	wg          sync.WaitGroup
+
+	visits atomic.Uint64
+	steals atomic.Uint64
+}
+
+type worker struct {
+	e  *engine
+	id int
+	// casFail is accumulated locally and flushed at exit.
+	casFail uint64
+	scratch *graph.Scratch[uint32]
+}
+
+// push enqueues onto the worker's own queue (locality-first; stealing
+// rebalances).
+func (w *worker) push(it pq.Item) {
+	w.e.outstanding.Add(1)
+	w.e.queues[w.id].push(it)
+}
+
+func newEngine(cfg Config, visit visitFunc) *engine {
+	cfg.normalize()
+	e := &engine{cfg: cfg, visit: visit}
+	e.queues = make([]*queue, cfg.Workers)
+	e.workers = make([]*worker, cfg.Workers)
+	for i := range e.queues {
+		e.queues[i] = &queue{heap: pq.New(false)}
+		e.workers[i] = &worker{e: e, id: i, scratch: &graph.Scratch[uint32]{}}
+	}
+	e.outstanding.Store(1) // init token
+	return e
+}
+
+func (e *engine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.aborted.Store(true)
+}
+
+// next obtains work for worker id: own queue first, then (unless disabled) a
+// sweep over the other queues.
+func (e *engine) next(w *worker) (pq.Item, bool) {
+	if it, ok := e.queues[w.id].pop(); ok {
+		return it, true
+	}
+	if e.cfg.NoSteal {
+		return pq.Item{}, false
+	}
+	n := len(e.queues)
+	for off := 1; off < n; off++ {
+		victim := (w.id + off) % n
+		if it, ok := e.queues[victim].pop(); ok {
+			e.steals.Add(1)
+			return it, true
+		}
+	}
+	return pq.Item{}, false
+}
+
+func (e *engine) run(w *worker) {
+	defer e.wg.Done()
+	idle := time.Duration(0)
+	for {
+		it, ok := e.next(w)
+		if !ok {
+			if e.done.Load() {
+				return
+			}
+			// Exponential-ish backoff while idle; work may arrive on any
+			// queue, so parking on a condvar would miss it.
+			runtime.Gosched()
+			if idle < 200*time.Microsecond {
+				idle += 20 * time.Microsecond
+			}
+			time.Sleep(idle)
+			continue
+		}
+		idle = 0
+		if !e.aborted.Load() {
+			e.visits.Add(1)
+			if err := e.visit(w, it); err != nil {
+				e.fail(err)
+			}
+		}
+		if e.outstanding.Add(-1) == 0 {
+			e.done.Store(true)
+		}
+	}
+}
+
+func (e *engine) start() {
+	e.wg.Add(len(e.workers))
+	for _, w := range e.workers {
+		go e.run(w)
+	}
+}
+
+func (e *engine) wait() (Stats, error) {
+	if e.outstanding.Add(-1) == 0 {
+		e.done.Store(true)
+	}
+	e.wg.Wait()
+	var cas uint64
+	for _, w := range e.workers {
+		cas += w.casFail
+	}
+	return Stats{Visits: e.visits.Load(), Steals: e.steals.Load(), CASFail: cas}, e.err
+}
+
+// label packs (distance, parent) into one atomically-updated word so both
+// change together: high 32 bits distance, low 32 bits parent.
+func pack(dist uint32, parent uint32) uint64 { return uint64(dist)<<32 | uint64(parent) }
+
+func unpack(l uint64) (dist uint32, parent uint32) {
+	return uint32(l >> 32), uint32(l)
+}
+
+// InfDist32 is the unreached marker for the packed 32-bit distances.
+const InfDist32 = math.MaxUint32
+
+// Result holds packed traversal output.
+type Result struct {
+	Dist   []uint32 // InfDist32 for unreachable vertices
+	Parent []uint32 // NoVertex for unreachable vertices
+	Stats  Stats
+}
+
+// SSSP computes single-source shortest paths with atomic label relaxation
+// and work stealing. Distances are capped at 2^32-2 (packing limitation);
+// inputs whose shortest paths could exceed that must use internal/core.
+func SSSP(g graph.Adjacency[uint32], src uint32, cfg Config) (*Result, error) {
+	return traverse(g, src, cfg, true)
+}
+
+// BFS computes breadth-first levels with atomic label relaxation and work
+// stealing (all edge weights treated as 1).
+func BFS(g graph.Adjacency[uint32], src uint32, cfg Config) (*Result, error) {
+	return traverse(g, src, cfg, false)
+}
+
+func traverse(g graph.Adjacency[uint32], src uint32, cfg Config, weighted bool) (*Result, error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("lockfree: source %d out of range for %d vertices", src, n)
+	}
+	labels := make([]atomic.Uint64, n)
+	init := pack(InfDist32, InfDist32)
+	for i := range labels {
+		labels[i].Store(init)
+	}
+
+	e := newEngine(cfg, func(w *worker, it pq.Item) error {
+		v := uint32(it.V)
+		nd := uint32(it.Pri)
+		// CAS-relax: any worker may visit v, so the label update must be
+		// atomic (this is the cost the paper's ownership hashing avoids).
+		for {
+			old := labels[v].Load()
+			oldDist, _ := unpack(old)
+			if nd >= oldDist {
+				return nil // stale visitor
+			}
+			if labels[v].CompareAndSwap(old, pack(nd, uint32(it.Aux))) {
+				break
+			}
+			w.casFail++
+		}
+		targets, weights, err := g.Neighbors(v, w.scratch)
+		if err != nil {
+			return err
+		}
+		for i, t := range targets {
+			wt := uint64(1)
+			if weighted && weights != nil {
+				wt = uint64(weights[i])
+			}
+			cand := uint64(nd) + wt
+			if cand >= InfDist32 {
+				return fmt.Errorf("lockfree: distance overflow at vertex %d (use internal/core)", t)
+			}
+			w.push(pq.Item{Pri: cand, V: uint64(t), Aux: uint64(v)})
+		}
+		return nil
+	})
+	e.start()
+	e.workers[0].push(pq.Item{Pri: 0, V: uint64(src), Aux: uint64(src)})
+	st, err := e.wait()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Dist:   make([]uint32, n),
+		Parent: make([]uint32, n),
+		Stats:  st,
+	}
+	for i := range res.Dist {
+		res.Dist[i], res.Parent[i] = unpack(labels[i].Load())
+	}
+	return res, nil
+}
+
+// CCResult holds connected-component output.
+type CCResult struct {
+	ID    []uint32
+	Stats Stats
+}
+
+// CC computes connected components of an undirected graph with atomic
+// min-label relaxation and work stealing.
+func CC(g graph.Adjacency[uint32], cfg Config) (*CCResult, error) {
+	n := g.NumVertices()
+	ids := make([]atomic.Uint32, n)
+	for i := range ids {
+		ids[i].Store(math.MaxUint32)
+	}
+	e := newEngine(cfg, func(w *worker, it pq.Item) error {
+		v := uint32(it.V)
+		cand := uint32(it.Pri)
+		for {
+			old := ids[v].Load()
+			if cand >= old {
+				return nil
+			}
+			if ids[v].CompareAndSwap(old, cand) {
+				break
+			}
+			w.casFail++
+		}
+		targets, _, err := g.Neighbors(v, w.scratch)
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			w.push(pq.Item{Pri: uint64(cand), V: uint64(t)})
+		}
+		return nil
+	})
+	e.start()
+	// Seed every vertex with its own id, spread round-robin over workers.
+	for v := uint64(0); v < n; v++ {
+		e.workers[int(v)%len(e.workers)].push(pq.Item{Pri: v, V: v})
+	}
+	st, err := e.wait()
+	if err != nil {
+		return nil, err
+	}
+	res := &CCResult{ID: make([]uint32, n), Stats: st}
+	for i := range res.ID {
+		res.ID[i] = ids[i].Load()
+	}
+	return res, nil
+}

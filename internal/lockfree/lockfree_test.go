@@ -1,0 +1,246 @@
+package lockfree
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func randomDigraph(t testing.TB, n uint64, m int, weighted bool, seed uint64) *graph.CSR[uint32] {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, seed*3+1))
+	b := graph.NewBuilder[uint32](n, weighted)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(r.Uint64N(n)), uint32(r.Uint64N(n)), graph.Weight(r.Uint64N(64)))
+	}
+	g, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomUndirected(t testing.TB, n uint64, m int, seed uint64) *graph.CSR[uint32] {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, seed*5+3))
+	b := graph.NewBuilder[uint32](n, false)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(r.Uint64N(n)), uint32(r.Uint64N(n)), 1)
+	}
+	b.Symmetrize()
+	g, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var workerSweep = []int{1, 2, 8, 32}
+
+func TestLockfreeBFSMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomDigraph(t, 300, 1500, false, seed)
+		want, err := baseline.SerialBFS[uint32](g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep {
+			res, err := BFS(g, 0, Config{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				wantD := uint32(InfDist32)
+				if want[v] != graph.InfDist {
+					wantD = uint32(want[v])
+				}
+				if res.Dist[v] != wantD {
+					t.Fatalf("seed=%d workers=%d: dist[%d] = %d, want %d",
+						seed, w, v, res.Dist[v], wantD)
+				}
+			}
+		}
+	}
+}
+
+func TestLockfreeSSSPMatchesDijkstra(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomDigraph(t, 300, 1500, true, seed)
+		want, _, err := baseline.SerialDijkstra[uint32](g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep {
+			res, err := SSSP(g, 0, Config{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				wantD := uint32(InfDist32)
+				if want[v] != graph.InfDist {
+					wantD = uint32(want[v])
+				}
+				if res.Dist[v] != wantD {
+					t.Fatalf("seed=%d workers=%d: dist[%d] = %d, want %d",
+						seed, w, v, res.Dist[v], wantD)
+				}
+			}
+		}
+	}
+}
+
+func TestLockfreeCCMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomUndirected(t, 400, 600, seed)
+		want, err := baseline.SerialCC[uint32](g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep {
+			res, err := CC(g, Config{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if res.ID[v] != want[v] {
+					t.Fatalf("seed=%d workers=%d: id[%d] = %d, want %d",
+						seed, w, v, res.ID[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestLockfreeNoStealStillCorrect(t *testing.T) {
+	// Without stealing, work pushed to a worker's own queue must still
+	// complete: every push targets the pushing worker, and the single seed
+	// means worker 0 does everything.
+	g := randomDigraph(t, 200, 1200, false, 9)
+	want, err := baseline.SerialBFS[uint32](g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, Config{Workers: 8, NoSteal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		wantD := uint32(InfDist32)
+		if want[v] != graph.InfDist {
+			wantD = uint32(want[v])
+		}
+		if res.Dist[v] != wantD {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], wantD)
+		}
+	}
+	if res.Stats.Steals != 0 {
+		t.Fatalf("steals = %d with NoSteal", res.Stats.Steals)
+	}
+}
+
+func TestLockfreeStealingHappens(t *testing.T) {
+	g := randomDigraph(t, 2000, 16000, false, 10)
+	res, err := BFS(g, 0, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-source seed lands on one worker; the other 7 can only get
+	// work by stealing.
+	if res.Stats.Steals == 0 {
+		t.Fatal("no steals recorded on multi-worker single-seed run")
+	}
+}
+
+func TestLockfreeSourceOutOfRange(t *testing.T) {
+	g := randomDigraph(t, 4, 4, false, 1)
+	if _, err := BFS(g, 99, Config{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := SSSP(g, 99, Config{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestLockfreeDistanceOverflowSurfaces(t *testing.T) {
+	// Two vertices with an edge weight that would push the packed distance
+	// past 2^32-2 must fail loudly, not wrap.
+	b := graph.NewBuilder[uint32](3, true)
+	b.AddEdge(0, 1, ^graph.Weight(0)) // 2^32-1
+	b.AddEdge(1, 2, ^graph.Weight(0))
+	g, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SSSP(g, 0, Config{Workers: 2}); err == nil {
+		t.Fatal("distance overflow not surfaced")
+	}
+}
+
+func TestLockfreeAgainstCoreEngine(t *testing.T) {
+	// The two engines must agree label-for-label.
+	g := randomUndirected(t, 500, 2000, 11)
+	coreRes, err := core.CC[uint32](g, core.Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfRes, err := CC(g, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range coreRes.ID {
+		if uint32(coreRes.ID[v]) != lfRes.ID[v] {
+			t.Fatalf("engines disagree at %d: core=%d lockfree=%d", v, coreRes.ID[v], lfRes.ID[v])
+		}
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, c := range [][2]uint32{{0, 0}, {5, 9}, {InfDist32, InfDist32}, {1 << 31, 7}} {
+		d, p := unpack(pack(c[0], c[1]))
+		if d != c[0] || p != c[1] {
+			t.Fatalf("pack/unpack(%v) = (%d,%d)", c, d, p)
+		}
+	}
+}
+
+// Property: lockfree BFS equals serial BFS on arbitrary digraphs.
+func TestQuickLockfreeBFS(t *testing.T) {
+	type rawEdge struct{ S, D uint8 }
+	f := func(raw []rawEdge, w uint8) bool {
+		const n = 64
+		workers := int(w%6) + 1
+		b := graph.NewBuilder[uint32](n, false)
+		for _, e := range raw {
+			b.AddEdge(uint32(e.S)%n, uint32(e.D)%n, 1)
+		}
+		g, err := b.Build(true)
+		if err != nil {
+			return false
+		}
+		want, err := baseline.SerialBFS[uint32](g, 0)
+		if err != nil {
+			return false
+		}
+		got, err := BFS(g, 0, Config{Workers: workers})
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			wantD := uint32(InfDist32)
+			if want[v] != graph.InfDist {
+				wantD = uint32(want[v])
+			}
+			if got.Dist[v] != wantD {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

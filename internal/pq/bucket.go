@@ -1,0 +1,78 @@
+package pq
+
+// Queue is the visitor-queue contract the engine's workers drive. Heap and
+// BucketQueue both implement it.
+type Queue interface {
+	// Push inserts a visitor.
+	Push(Item)
+	// Pop removes a minimum-priority visitor; ok is false when empty.
+	Pop() (Item, bool)
+	// Len reports the number of queued visitors.
+	Len() int
+	// MaxLen reports the high-water mark of Len.
+	MaxLen() int
+}
+
+var (
+	_ Queue = (*Heap)(nil)
+	_ Queue = (*BucketQueue)(nil)
+)
+
+// BucketQueue is a two-level priority queue for integer priorities: items
+// with equal priority share a FIFO bucket, and a small min-heap orders the
+// distinct priorities present. For traversals whose priorities cluster on few
+// values — BFS levels, CC component ids mid-collapse — push is O(1) for an
+// existing bucket and pop is O(log #distinct), versus O(log n) for the binary
+// heap. The trade-off is that it cannot secondary-sort by vertex id inside a
+// bucket (FIFO), so the semi-external semi-sort optimization requires Heap.
+type BucketQueue struct {
+	buckets map[uint64][]Item
+	keys    *Heap // heap of distinct priorities (Item.Pri only)
+	length  int
+	maxLen  int
+}
+
+// NewBucket returns an empty bucket queue.
+func NewBucket() *BucketQueue {
+	return &BucketQueue{
+		buckets: make(map[uint64][]Item),
+		keys:    New(false),
+	}
+}
+
+// Len reports the number of queued items.
+func (b *BucketQueue) Len() int { return b.length }
+
+// MaxLen reports the high-water mark of the queue size.
+func (b *BucketQueue) MaxLen() int { return b.maxLen }
+
+// Push inserts an item.
+func (b *BucketQueue) Push(it Item) {
+	bucket, ok := b.buckets[it.Pri]
+	if !ok {
+		b.keys.Push(Item{Pri: it.Pri})
+	}
+	b.buckets[it.Pri] = append(bucket, it)
+	b.length++
+	if b.length > b.maxLen {
+		b.maxLen = b.length
+	}
+}
+
+// Pop removes an item with the minimum priority (FIFO within a priority).
+func (b *BucketQueue) Pop() (Item, bool) {
+	if b.length == 0 {
+		return Item{}, false
+	}
+	key, _ := b.keys.Peek()
+	bucket := b.buckets[key.Pri]
+	it := bucket[0]
+	if len(bucket) == 1 {
+		delete(b.buckets, key.Pri)
+		b.keys.Pop()
+	} else {
+		b.buckets[key.Pri] = bucket[1:]
+	}
+	b.length--
+	return it, true
+}

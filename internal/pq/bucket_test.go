@@ -1,0 +1,114 @@
+package pq
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketQueueEmpty(t *testing.T) {
+	b := NewBucket()
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if _, ok := b.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+}
+
+func TestBucketQueuePriorityOrder(t *testing.T) {
+	b := NewBucket()
+	for _, p := range []uint64{5, 1, 9, 1, 5, 0} {
+		b.Push(Item{Pri: p})
+	}
+	want := []uint64{0, 1, 1, 5, 5, 9}
+	for i, w := range want {
+		it, ok := b.Pop()
+		if !ok || it.Pri != w {
+			t.Fatalf("pop %d = (%d, %v), want %d", i, it.Pri, ok, w)
+		}
+	}
+}
+
+func TestBucketQueueFIFOWithinPriority(t *testing.T) {
+	b := NewBucket()
+	for v := uint64(0); v < 5; v++ {
+		b.Push(Item{Pri: 3, V: v})
+	}
+	for v := uint64(0); v < 5; v++ {
+		it, ok := b.Pop()
+		if !ok || it.V != v {
+			t.Fatalf("pop = (%d, %v), want FIFO order %d", it.V, ok, v)
+		}
+	}
+}
+
+func TestBucketQueueMaxLen(t *testing.T) {
+	b := NewBucket()
+	for i := 0; i < 7; i++ {
+		b.Push(Item{Pri: uint64(i % 2)})
+	}
+	b.Pop()
+	b.Pop()
+	b.Push(Item{Pri: 9})
+	if b.MaxLen() != 7 {
+		t.Fatalf("MaxLen = %d, want 7", b.MaxLen())
+	}
+	if b.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", b.Len())
+	}
+}
+
+func TestBucketQueueInterleaved(t *testing.T) {
+	b := NewBucket()
+	h := New(false) // reference for priority order
+	r := rand.New(rand.NewPCG(3, 4))
+	for op := 0; op < 5000; op++ {
+		if r.IntN(3) != 0 || h.Len() == 0 {
+			it := Item{Pri: r.Uint64N(16), V: r.Uint64()}
+			b.Push(it)
+			h.Push(it)
+		} else {
+			got, ok1 := b.Pop()
+			want, ok2 := h.Pop()
+			if ok1 != ok2 || got.Pri != want.Pri {
+				t.Fatalf("op %d: bucket pop pri %d, heap pop pri %d", op, got.Pri, want.Pri)
+			}
+		}
+	}
+}
+
+// Property: bucket queue drains in non-decreasing priority order and
+// preserves the multiset of pushed items.
+func TestQuickBucketQueue(t *testing.T) {
+	f := func(pris []uint16) bool {
+		b := NewBucket()
+		counts := make(map[uint64]int)
+		for _, p := range pris {
+			b.Push(Item{Pri: uint64(p)})
+			counts[uint64(p)]++
+		}
+		var prev uint64
+		first := true
+		for {
+			it, ok := b.Pop()
+			if !ok {
+				break
+			}
+			if !first && it.Pri < prev {
+				return false
+			}
+			prev, first = it.Pri, false
+			counts[it.Pri]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

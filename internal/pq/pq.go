@@ -1,0 +1,113 @@
+// Package pq implements the binary min-heap underlying each worker's
+// prioritized visitor queue. The heap orders items by a primary 64-bit
+// priority and, when enabled, a secondary vertex-id key — the paper's
+// semi-external "semi-sort" optimization that increases storage locality by
+// visiting equal-priority vertices in ascending id order (§IV-C).
+package pq
+
+// Item is a queued visitor. Pri is the traversal priority (path length for
+// SSSP/BFS, candidate component id for CC), V is the vertex to visit, and Aux
+// carries algorithm payload (the proposed parent for SSSP/BFS).
+type Item struct {
+	Pri uint64
+	V   uint64
+	Aux uint64
+}
+
+// Heap is a non-concurrent binary min-heap of Items. Concurrency control
+// belongs to the owning worker queue, not the heap.
+type Heap struct {
+	items    []Item
+	semiSort bool  // break priority ties by ascending vertex id
+	priShift uint8 // compare Pri >> priShift: Δ-style priority coarsening
+	maxLen   int
+}
+
+// New returns an empty heap. When semiSort is true, ties on Pri are broken by
+// ascending V.
+func New(semiSort bool) *Heap {
+	return &Heap{semiSort: semiSort}
+}
+
+// NewCoarse returns a heap that compares priorities coarsened by shift bits
+// (Δ-stepping-style bucketing: priorities within the same 2^shift-wide bucket
+// are considered equal, falling through to the semi-sort key). shift = 0 is
+// exact ordering.
+func NewCoarse(semiSort bool, shift uint8) *Heap {
+	return &Heap{semiSort: semiSort, priShift: shift}
+}
+
+// Len reports the number of queued items.
+func (h *Heap) Len() int { return len(h.items) }
+
+// MaxLen reports the high-water mark of the heap size, used by the harness to
+// report queue memory pressure.
+func (h *Heap) MaxLen() int { return h.maxLen }
+
+func (h *Heap) less(a, b Item) bool {
+	if pa, pb := a.Pri>>h.priShift, b.Pri>>h.priShift; pa != pb {
+		return pa < pb
+	}
+	if h.semiSort && a.V != b.V {
+		return a.V < b.V
+	}
+	return false
+}
+
+// Push inserts an item.
+func (h *Heap) Push(it Item) {
+	h.items = append(h.items, it)
+	if len(h.items) > h.maxLen {
+		h.maxLen = len(h.items)
+	}
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum item. ok is false when the heap is
+// empty.
+func (h *Heap) Pop() (it Item, ok bool) {
+	n := len(h.items)
+	if n == 0 {
+		return Item{}, false
+	}
+	it = h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items = h.items[:n-1]
+	h.siftDown(0)
+	return it, true
+}
+
+// Peek returns the minimum item without removing it.
+func (h *Heap) Peek() (it Item, ok bool) {
+	if len(h.items) == 0 {
+		return Item{}, false
+	}
+	return h.items[0], true
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(h.items[l], h.items[min]) {
+			min = l
+		}
+		if r < n && h.less(h.items[r], h.items[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}

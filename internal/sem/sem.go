@@ -1,0 +1,282 @@
+// Package sem implements the paper's semi-external memory graph storage
+// (§IV-C): "enough memory to store algorithmic information about the
+// vertices but not edges". The vertex index array lives in RAM; the edge
+// records stay on the storage device and every adjacency access is an
+// explicit random read, issued concurrently by the traversal workers so the
+// device's internal parallelism is exercised.
+//
+// The on-device layout is a compressed sparse row serialized as:
+//
+//	header (40 bytes): magic "ASG1", version, flags, n, m
+//	offsets: (n+1) x uint64        -- loaded into RAM at open
+//	edges:   m x record            -- fetched per-visit with ReadAt
+//
+// A record is the target vertex id (4 or 8 bytes per the vertex width flag)
+// followed by a uint32 weight when the graph is weighted. All integers are
+// little-endian.
+package sem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Magic identifies the graph file format ("ASG1": Async Semi-external Graph).
+const Magic = 0x31475341
+
+// Version is the current format version.
+const Version = 1
+
+// Header flags.
+const (
+	flagWeighted = 1 << 0
+	flag64Bit    = 1 << 1
+)
+
+const headerSize = 40
+
+// Store is the device interface a semi-external graph reads from: the
+// simulated flash device, a real file, or anything positionally readable.
+type Store interface {
+	io.ReaderAt
+}
+
+// Graph is a semi-external CSR: offsets in memory, edges on the store.
+// It implements graph.Adjacency.
+type Graph[V graph.Vertex] struct {
+	store    Store
+	offsets  []uint64 // n+1 entries, RAM-resident ("information about the vertices")
+	n, m     uint64
+	weighted bool
+	recSize  int
+	vSize    int
+	edgeBase int64 // byte offset of the first edge record
+}
+
+// vertexWidth reports the on-disk vertex id width for V.
+func vertexWidth[V graph.Vertex]() int {
+	if uint64(^V(0)) == uint64(^uint32(0)) {
+		return 4
+	}
+	return 8
+}
+
+// WriteCSR serializes an in-memory CSR into the semi-external format.
+func WriteCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V]) error {
+	vSize := vertexWidth[V]()
+	var flags uint64
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	if vSize == 8 {
+		flags |= flag64Bit
+	}
+	header := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(header[0:], Magic)
+	binary.LittleEndian.PutUint32(header[4:], Version)
+	binary.LittleEndian.PutUint64(header[8:], flags)
+	binary.LittleEndian.PutUint64(header[16:], g.NumVertices())
+	binary.LittleEndian.PutUint64(header[24:], g.NumEdges())
+	// header[32:40] reserved.
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("sem: write header: %w", err)
+	}
+
+	buf := make([]byte, 0, 1<<16)
+	for _, off := range g.Offsets() {
+		buf = binary.LittleEndian.AppendUint64(buf, off)
+		if len(buf) >= 1<<16-8 {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("sem: write offsets: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	targets := g.Targets()
+	weights := g.WeightsRaw()
+	for i, t := range targets {
+		if vSize == 4 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+		} else {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+		}
+		if weights != nil {
+			buf = binary.LittleEndian.AppendUint32(buf, weights[i])
+		}
+		if len(buf) >= 1<<16-16 {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("sem: write edges: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("sem: write tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Open reads the header and vertex index of a semi-external graph, leaving
+// edge records on the store. The vertex width of V must match the file.
+func Open[V graph.Vertex](store Store) (*Graph[V], error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(store, 0, headerSize), header); err != nil {
+		return nil, fmt.Errorf("sem: read header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(header[0:]); m != Magic {
+		return nil, fmt.Errorf("sem: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != Version {
+		return nil, fmt.Errorf("sem: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint64(header[8:])
+	n := binary.LittleEndian.Uint64(header[16:])
+	m := binary.LittleEndian.Uint64(header[24:])
+
+	vSize := 4
+	if flags&flag64Bit != 0 {
+		vSize = 8
+	}
+	if vSize != vertexWidth[V]() {
+		return nil, fmt.Errorf("sem: file has %d-byte vertex ids, caller expects %d", vSize, vertexWidth[V]())
+	}
+	g := &Graph[V]{
+		store:    store,
+		n:        n,
+		m:        m,
+		weighted: flags&flagWeighted != 0,
+		vSize:    vSize,
+	}
+	g.recSize = vSize
+	if g.weighted {
+		g.recSize += 4
+	}
+	if n >= 1<<56 || m >= 1<<56 {
+		return nil, fmt.Errorf("sem: implausible header (n=%d m=%d)", n, m)
+	}
+	g.edgeBase = headerSize + int64(n+1)*8
+
+	// Validate the header against the store size before allocating the
+	// index: a corrupt vertex count must not drive a huge allocation.
+	if szr, ok := store.(interface{ Size() int64 }); ok {
+		need := g.edgeBase + int64(m)*int64(g.recSize)
+		if szr.Size() < need {
+			return nil, fmt.Errorf("sem: store holds %d bytes, header requires %d", szr.Size(), need)
+		}
+	}
+
+	// The vertex index is the RAM-resident "algorithmic information about
+	// the vertices". One sequential read at open time.
+	raw := make([]byte, (n+1)*8)
+	if _, err := io.ReadFull(io.NewSectionReader(store, headerSize, int64(len(raw))), raw); err != nil {
+		return nil, fmt.Errorf("sem: read vertex index: %w", err)
+	}
+	g.offsets = make([]uint64, n+1)
+	for i := range g.offsets {
+		g.offsets[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	if g.offsets[n] != m {
+		return nil, fmt.Errorf("sem: corrupt index: offsets[n]=%d, m=%d", g.offsets[n], m)
+	}
+	for i := uint64(0); i < n; i++ {
+		if g.offsets[i] > g.offsets[i+1] {
+			return nil, fmt.Errorf("sem: corrupt index: offsets decrease at %d", i)
+		}
+	}
+	return g, nil
+}
+
+// NumVertices implements graph.Adjacency.
+func (g *Graph[V]) NumVertices() uint64 { return g.n }
+
+// NumEdges reports the number of edge records on the store.
+func (g *Graph[V]) NumEdges() uint64 { return g.m }
+
+// Weighted reports whether edge records carry weights.
+func (g *Graph[V]) Weighted() bool { return g.weighted }
+
+// Degree implements graph.Adjacency from the RAM-resident index.
+func (g *Graph[V]) Degree(v V) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// EdgeBytes reports the size of the edge region in bytes, the paper's
+// "size on EM device" (excluding the RAM-resident index).
+func (g *Graph[V]) EdgeBytes() int64 { return int64(g.m) * int64(g.recSize) }
+
+// Neighbors implements graph.Adjacency with one positional read per call —
+// the semi-external random access the experiments measure. The decoded
+// slices live in scratch and are valid until the next call.
+func (g *Graph[V]) Neighbors(v V, scratch *graph.Scratch[V]) ([]V, []graph.Weight, error) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	deg := int(hi - lo)
+	if deg == 0 {
+		return nil, nil, nil
+	}
+	need := deg * g.recSize
+	if cap(scratch.Block) < need {
+		scratch.Block = make([]byte, need)
+	}
+	block := scratch.Block[:need]
+	off := g.edgeBase + int64(lo)*int64(g.recSize)
+	if _, err := g.store.ReadAt(block, off); err != nil {
+		return nil, nil, fmt.Errorf("sem: read adjacency of %d: %w", v, err)
+	}
+	if cap(scratch.Targets) < deg {
+		scratch.Targets = make([]V, deg)
+	}
+	targets := scratch.Targets[:deg]
+	var weights []graph.Weight
+	if g.weighted {
+		if cap(scratch.Weights) < deg {
+			scratch.Weights = make([]graph.Weight, deg)
+		}
+		weights = scratch.Weights[:deg]
+	}
+	for i := 0; i < deg; i++ {
+		rec := block[i*g.recSize:]
+		if g.vSize == 4 {
+			targets[i] = V(binary.LittleEndian.Uint32(rec))
+		} else {
+			targets[i] = V(binary.LittleEndian.Uint64(rec))
+		}
+		if weights != nil {
+			weights[i] = binary.LittleEndian.Uint32(rec[g.vSize:])
+		}
+	}
+	return targets, weights, nil
+}
+
+// LoadCSR reads an entire semi-external graph back into an in-memory CSR.
+// Used for round-trip verification and by tools that want IM processing of a
+// stored graph.
+func LoadCSR[V graph.Vertex](store Store) (*graph.CSR[V], error) {
+	g, err := Open[V](store)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]V, g.m)
+	var weights []graph.Weight
+	if g.weighted {
+		weights = make([]graph.Weight, g.m)
+	}
+	scratch := &graph.Scratch[V]{}
+	for v := uint64(0); v < g.n; v++ {
+		ts, ws, err := g.Neighbors(V(v), scratch)
+		if err != nil {
+			return nil, err
+		}
+		copy(targets[g.offsets[v]:], ts)
+		if ws != nil {
+			copy(weights[g.offsets[v]:], ws)
+		}
+	}
+	offsets := make([]uint64, len(g.offsets))
+	copy(offsets, g.offsets)
+	return graph.NewCSRRaw(offsets, targets, weights)
+}

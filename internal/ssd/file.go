@@ -1,0 +1,41 @@
+package ssd
+
+import (
+	"fmt"
+	"os"
+)
+
+// FileBacking adapts an *os.File to the Backing interface so a simulated
+// device can sit on top of a real on-disk graph file (cmd/traverse's SEM
+// mode), or so graphs can be written through the device's write-cost model.
+type FileBacking struct {
+	f    *os.File
+	size int64
+}
+
+// NewFileBacking wraps an open file. The size is captured at wrap time;
+// writes past the end extend it.
+func NewFileBacking(f *os.File) (*FileBacking, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("ssd: stat %s: %w", f.Name(), err)
+	}
+	return &FileBacking{f: f, size: info.Size()}, nil
+}
+
+// ReadAt implements Backing.
+func (b *FileBacking) ReadAt(p []byte, off int64) (int, error) {
+	return b.f.ReadAt(p, off)
+}
+
+// WriteAt implements Backing.
+func (b *FileBacking) WriteAt(p []byte, off int64) (int, error) {
+	n, err := b.f.WriteAt(p, off)
+	if end := off + int64(n); end > b.size {
+		b.size = end
+	}
+	return n, err
+}
+
+// Size implements Backing.
+func (b *FileBacking) Size() int64 { return b.size }

@@ -1,0 +1,50 @@
+package ssd
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MeasureReadIOPS reproduces the paper's Figure 1 measurement: `threads`
+// concurrent workers issue random reads of readSize bytes against the device
+// for the given duration, and the aggregate operations-per-second is
+// returned. IOPS rise with the thread count until the device's internal
+// parallelism saturates.
+func MeasureReadIOPS(d *Device, threads, readSize int, dur time.Duration, seed uint64) float64 {
+	if threads <= 0 || readSize <= 0 || d.Size() < int64(readSize) {
+		return 0
+	}
+	span := d.Size() - int64(readSize)
+	var ops atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(seed, uint64(id)))
+			buf := make([]byte, readSize)
+			for !stop.Load() {
+				off := int64(0)
+				if span > 0 {
+					off = r.Int64N(span + 1)
+				}
+				if _, err := d.ReadAt(buf, off); err != nil {
+					return
+				}
+				ops.Add(1)
+			}
+		}(t)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops.Load()) / elapsed
+}
