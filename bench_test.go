@@ -18,7 +18,9 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -435,6 +437,46 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "visitors/s")
 		})
+	}
+}
+
+// BenchmarkPushThroughput isolates the visitor-to-visitor Push delivery
+// path, the operation the mailbox layer batches: each visitor fans out
+// follow-up pushes while a shared budget lasts, so nearly all b.N pushes
+// travel producer→owner through Ctx.Push (external Engine.Push, as used by
+// BenchmarkEngineThroughput, always takes the direct lock-per-push path).
+// "direct" is the pre-mailbox behavior (Batch=1, one lock acquisition and
+// condvar signal per push); "batched" is the default outbox delivery.
+func BenchmarkPushThroughput(b *testing.B) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{1, maxProcs, 4 * maxProcs} {
+		for _, mode := range []struct {
+			name  string
+			batch int
+		}{{"direct", 1}, {"batched", core.DefaultBatch}} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode.name), func(b *testing.B) {
+				var budget atomic.Int64
+				budget.Store(int64(b.N))
+				e := core.New[uint32](core.Config{Workers: workers, Batch: mode.batch},
+					func(ctx *core.Ctx[uint32], it pq.Item) error {
+						for k := uint64(0); k < 4; k++ {
+							if budget.Add(-1) < 0 {
+								return nil
+							}
+							ctx.Push(it.Pri+1, uint32((it.V*4+k+1)%65536), 0)
+						}
+						return nil
+					})
+				e.Start()
+				b.ResetTimer()
+				e.Push(0, 0, 0)
+				st, err := e.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(st.Pushes)/b.Elapsed().Seconds(), "pushes/s")
+			})
+		}
 	}
 }
 

@@ -38,6 +38,7 @@ func main() {
 		semMode  = flag.Bool("sem", false, "semi-external: leave edges on a simulated flash device")
 		profile  = flag.String("profile", "FusionIO", "flash profile for -sem: FusionIO, Intel, Corsair")
 		semisort = flag.Bool("semisort", true, "secondary vertex-id sort key (SEM locality)")
+		batch    = flag.Int("batch", 0, "async mailbox batch size: 0 = default, 1 = lock-per-push")
 		check    = flag.Bool("check", false, "verify async results against the serial baseline")
 	)
 	flag.Parse()
@@ -46,13 +47,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *profile, *semisort, *check); err != nil {
+	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *profile, *semisort, *batch, *check); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode bool, profile string, semisort, check bool) error {
+func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode bool, profile string, semisort bool, batch int, check bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -97,7 +98,7 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		fmt.Printf("source: %d (max degree %d)\n", src, adj.Degree(uint32(src)))
 	}
 
-	cfg := core.Config{Workers: workers, SemiSort: semisort}
+	cfg := core.Config{Workers: workers, SemiSort: semisort, Batch: batch}
 	start := time.Now()
 	switch {
 	case algo == "bfs" && engine == "async":

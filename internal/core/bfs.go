@@ -1,15 +1,13 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // BFSResult holds the output of a breadth-first search: per-vertex level and
 // parent plus traversal statistics used by the benchmark harness (the paper's
 // Table I reports the number of levels and the fraction of vertices visited).
+// The traversal itself is the shared relaxation kernel in kernels.go.
 type BFSResult[V graph.Vertex] struct {
 	Level  []graph.Dist // InfDist for unreachable vertices
 	Parent []V
@@ -52,48 +50,4 @@ func (r *BFSResult[V]) FracVisited() float64 {
 		}
 	}
 	return float64(reached) / float64(len(r.Level))
-}
-
-// BFS computes a breadth-first search by applying the asynchronous SSSP
-// traversal with all edge weights equal to 1 (§III-B). The visitor ignores
-// any weight array, so the same code path serves weighted graph storage.
-func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V], error) {
-	n := g.NumVertices()
-	if uint64(src) >= n {
-		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
-	}
-	res := &BFSResult[V]{
-		Level:  make([]graph.Dist, n),
-		Parent: make([]V, n),
-	}
-	for i := range res.Level {
-		res.Level[i] = graph.InfDist
-		res.Parent[i] = graph.NoVertex[V]()
-	}
-
-	e := New[V](cfg, func(ctx *Ctx[V], it pq.Item) error {
-		v := V(it.V)
-		if it.Pri >= res.Level[v] {
-			return nil
-		}
-		res.Level[v] = it.Pri
-		res.Parent[v] = V(it.Aux)
-		targets, _, err := g.Neighbors(v, ctx.Scratch)
-		if err != nil {
-			return err
-		}
-		next := it.Pri + 1
-		for _, t := range targets {
-			ctx.Push(next, t, uint64(v))
-		}
-		return nil
-	})
-	e.Start()
-	e.Push(0, src, uint64(src))
-	st, err := e.Wait()
-	res.Stats = st
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }

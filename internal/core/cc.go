@@ -2,12 +2,12 @@ package core
 
 import (
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // CCResult holds the output of an undirected connected-components traversal:
 // every vertex is labeled with the smallest vertex id connectable to it
-// (Algorithms 3 and 4).
+// (Algorithms 3 and 4). The traversal itself is the shared relaxation kernel
+// in kernels.go.
 type CCResult[V graph.Vertex] struct {
 	ID    []V // component label per vertex: the minimum vertex id in the component
 	Stats Stats
@@ -31,45 +31,4 @@ func (r *CCResult[V]) Sizes() map[V]uint64 {
 		sizes[id]++
 	}
 	return sizes
-}
-
-// CC computes connected components of an undirected graph (the input must be
-// symmetric, e.g. produced with Builder.Symmetrize). The computation starts a
-// visitor at every vertex labeled with its own id; when traversals merge, the
-// one started from the lowest id "takes over the remainder of both
-// traversals" (§III-C). Prioritizing smaller candidate ids prunes doomed
-// traversals early.
-func CC[V graph.Vertex](g graph.Adjacency[V], cfg Config) (*CCResult[V], error) {
-	n := g.NumVertices()
-	res := &CCResult[V]{ID: make([]V, n)}
-	no := graph.NoVertex[V]()
-	for i := range res.ID {
-		res.ID[i] = no // the paper's "initialized to infinity"
-	}
-
-	e := New[V](cfg, func(ctx *Ctx[V], it pq.Item) error {
-		v := V(it.V)
-		if it.Pri >= uint64(res.ID[v]) {
-			return nil
-		}
-		res.ID[v] = V(it.Pri) // relax vertex information
-		targets, _, err := g.Neighbors(v, ctx.Scratch)
-		if err != nil {
-			return err
-		}
-		for _, t := range targets {
-			ctx.Push(it.Pri, t, 0)
-		}
-		return nil
-	})
-	e.Start()
-	e.ParallelInit(n, func(i uint64) (uint64, V, uint64) {
-		return i, V(i), 0 // each vertex starts as its own component id
-	})
-	st, err := e.Wait()
-	res.Stats = st
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }

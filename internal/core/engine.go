@@ -11,6 +11,18 @@
 // label-correcting visitors fully asynchronously and the traversal completes
 // when every queued visitor has finished (termination is detected with an
 // atomic outstanding-work counter).
+//
+// The implementation is layered into three files:
+//
+//   - mailbox.go — the delivery layer: lock-protected per-worker queues and
+//     per-worker outboxes that batch pushes per destination owner, amortizing
+//     the destination queue's lock over Config.Batch items;
+//   - terminate.go — the termination layer: the Terminator outstanding-work
+//     counter with init token and CAS-max peak tracking, shared with
+//     internal/lockfree;
+//   - kernels.go — the algorithm layer: the single label-relaxation kernel
+//     that BFS, SSSP, and CC instantiate against any graph.Adjacency
+//     (in-memory CSR or semi-external store).
 package core
 
 import (
@@ -22,6 +34,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pq"
 )
+
+// DefaultBatch is the outbox flush threshold used when Config.Batch is 0.
+const DefaultBatch = 64
 
 // Config controls an Engine run.
 type Config struct {
@@ -47,6 +62,14 @@ type Config struct {
 	// small integer priority domains (BFS levels) but is FIFO within a
 	// priority.
 	Queue QueueKind
+	// Batch is the mailbox batching threshold: pushes issued from visitors
+	// (and ParallelInit) are buffered per destination worker and delivered
+	// Batch at a time under a single lock acquisition, with a drain-triggered
+	// flush whenever the producing worker runs out of local work. 0 selects
+	// DefaultBatch. 1 disables batching entirely — every push takes the
+	// destination queue's lock, the engine's original behavior, kept
+	// selectable for the mailbox ablation.
+	Batch int
 }
 
 // QueueKind selects the per-worker visitor queue implementation.
@@ -75,6 +98,12 @@ func (c *Config) normalize() {
 	}
 	if c.Hash == nil {
 		c.Hash = FibHash
+	}
+	if c.Batch == 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
 	}
 }
 
@@ -131,56 +160,32 @@ type Ctx[V graph.Vertex] struct {
 	engine  *Engine[V]
 	Worker  int
 	Scratch *graph.Scratch[V]
+	out     *outbox // nil when batching is disabled (Batch == 1)
 	visits  uint64
 	pushes  uint64
 }
 
 // Push queues a visitor for vertex v with the given priority and payload.
+// With batching enabled the visitor is buffered in the worker's outbox and
+// delivered when the destination bucket reaches Config.Batch items or the
+// worker runs out of local work.
 func (c *Ctx[V]) Push(pri uint64, v V, aux uint64) {
 	c.pushes++
-	c.engine.Push(pri, v, aux)
+	e := c.engine
+	e.term.Start()
+	owner := int(e.cfg.Hash(uint64(v)) % uint64(len(e.queues)))
+	it := pq.Item{Pri: pri, V: uint64(v), Aux: aux}
+	if c.out != nil {
+		c.out.add(owner, it)
+		return
+	}
+	e.queues[owner].push(it)
 }
 
 // VisitFunc is the vertex visitor body (the paper's Algorithm 2 / 4). It
 // runs with exclusive access to per-vertex state of it.V and may push
 // further visitors through ctx.
 type VisitFunc[V graph.Vertex] func(ctx *Ctx[V], it pq.Item) error
-
-type workQueue struct {
-	mu   sync.Mutex
-	cond sync.Cond
-	heap pq.Queue
-	done bool
-}
-
-func (q *workQueue) push(it pq.Item) {
-	q.mu.Lock()
-	q.heap.Push(it)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// pop blocks until an item is available or the engine is done.
-func (q *workQueue) pop() (pq.Item, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if it, ok := q.heap.Pop(); ok {
-			return it, true
-		}
-		if q.done {
-			return pq.Item{}, false
-		}
-		q.cond.Wait()
-	}
-}
-
-func (q *workQueue) finish() {
-	q.mu.Lock()
-	q.done = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
 
 // Engine is a single-traversal asynchronous visitor-queue executor. Create
 // with New, call Start, push the initial visitor(s), then Wait. Engines are
@@ -191,15 +196,15 @@ type Engine[V graph.Vertex] struct {
 	queues []*workQueue
 	wg     sync.WaitGroup
 
-	// outstanding counts queued-but-unfinished visitors plus one "init
-	// token" held until Wait is called, so the count cannot reach zero while
-	// the caller is still issuing initial pushes.
-	outstanding atomic.Int64
-	peak        atomic.Int64
-	aborted     atomic.Bool
-	finishOnce  sync.Once
-	errOnce     sync.Once
-	err         error
+	// term detects termination: it counts queued-but-unfinished visitors
+	// (including visitors still buffered in outboxes) plus one init token
+	// held until Wait is called, so the count cannot reach zero while the
+	// caller is still issuing initial pushes.
+	term       *Terminator
+	aborted    atomic.Bool
+	finishOnce sync.Once
+	errOnce    sync.Once
+	err        error
 
 	visits atomic.Uint64
 	pushes atomic.Uint64
@@ -211,7 +216,7 @@ type Engine[V graph.Vertex] struct {
 // New creates an engine that will execute visit for every queued visitor.
 func New[V graph.Vertex](cfg Config, visit VisitFunc[V]) *Engine[V] {
 	cfg.normalize()
-	e := &Engine[V]{cfg: cfg, visit: visit}
+	e := &Engine[V]{cfg: cfg, visit: visit, term: NewTerminator()}
 	e.workerVisits = make([]uint64, cfg.Workers)
 	e.queues = make([]*workQueue, cfg.Workers)
 	for i := range e.queues {
@@ -219,7 +224,6 @@ func New[V graph.Vertex](cfg Config, visit VisitFunc[V]) *Engine[V] {
 		q.cond.L = &q.mu
 		e.queues[i] = q
 	}
-	e.outstanding.Store(1) // init token, released by Wait
 	return e
 }
 
@@ -232,21 +236,19 @@ func (e *Engine[V]) Start() {
 	}
 }
 
-// Push queues a visitor for v. Safe for concurrent use, including from
-// within visitors.
+// Push queues a visitor for v. Safe for concurrent use. External pushes are
+// delivered directly (lock-per-push); pushes from inside visitors go through
+// the worker's batching outbox instead (see Ctx.Push).
 func (e *Engine[V]) Push(pri uint64, v V, aux uint64) {
-	if out := e.outstanding.Add(1); out > e.peak.Load() {
-		// Racy max update: losing an occasional increment only understates
-		// the peak slightly, which is acceptable for instrumentation.
-		e.peak.Store(out)
-	}
+	e.term.Start()
 	q := e.queues[e.cfg.Hash(uint64(v))%uint64(len(e.queues))]
 	q.push(pq.Item{Pri: pri, V: uint64(v), Aux: aux})
 }
 
 // ParallelInit pushes n initial visitors concurrently, the paper's
-// "for all v in g.vertex_list() parallel do" loop (Algorithm 3). gen is
-// invoked once per index i in [0, n).
+// "for all v in g.vertex_list() parallel do" loop (Algorithm 3). Each init
+// goroutine batches its pushes through an outbox when batching is enabled.
+// gen is invoked once per index i in [0, n).
 func (e *Engine[V]) ParallelInit(n uint64, gen func(i uint64) (pri uint64, v V, aux uint64)) {
 	par := uint64(runtime.GOMAXPROCS(0))
 	if par > n {
@@ -266,9 +268,23 @@ func (e *Engine[V]) ParallelInit(n uint64, gen func(i uint64) (pri uint64, v V, 
 		wg.Add(1)
 		go func(lo, hi uint64) {
 			defer wg.Done()
+			var out *outbox
+			if e.cfg.Batch > 1 {
+				out = newOutbox(e.queues, e.cfg.Batch)
+			}
 			for i := lo; i < hi; i++ {
 				pri, v, aux := gen(i)
-				e.Push(pri, v, aux)
+				e.term.Start()
+				owner := int(e.cfg.Hash(uint64(v)) % uint64(len(e.queues)))
+				it := pq.Item{Pri: pri, V: uint64(v), Aux: aux}
+				if out != nil {
+					out.add(owner, it)
+				} else {
+					e.queues[owner].push(it)
+				}
+			}
+			if out != nil {
+				out.flush()
 			}
 		}(lo, hi)
 	}
@@ -280,7 +296,7 @@ func (e *Engine[V]) ParallelInit(n uint64, gen func(i uint64) (pri uint64, v V, 
 // pri_q_visit.wait()). It returns aggregate statistics and the first visitor
 // error, if any.
 func (e *Engine[V]) Wait() (Stats, error) {
-	if e.outstanding.Add(-1) == 0 {
+	if e.term.Release() {
 		e.finish()
 	}
 	e.wg.Wait()
@@ -288,11 +304,8 @@ func (e *Engine[V]) Wait() (Stats, error) {
 		Visits:          e.visits.Load(),
 		Pushes:          e.pushes.Load(),
 		Workers:         len(e.queues),
-		PeakOutstanding: e.peak.Load() - 1, // exclude the init token
+		PeakOutstanding: e.term.Peak(),
 		WorkerVisits:    e.workerVisits,
-	}
-	if st.PeakOutstanding < 0 {
-		st.PeakOutstanding = 0
 	}
 	for _, q := range e.queues {
 		if m := q.heap.MaxLen(); m > st.MaxQueue {
@@ -310,22 +323,37 @@ func (e *Engine[V]) finish() {
 	})
 }
 
+// fail records the first visitor error, marks the traversal aborted so no
+// further visitors execute, and wakes every blocked worker so the engine
+// winds down promptly even with work still queued.
 func (e *Engine[V]) fail(err error) {
 	e.errOnce.Do(func() { e.err = err })
 	e.aborted.Store(true)
+	e.finish()
 }
 
 func (e *Engine[V]) worker(id int) {
 	defer e.wg.Done()
 	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: &graph.Scratch[V]{}}
+	if e.cfg.Batch > 1 {
+		ctx.out = newOutbox(e.queues, e.cfg.Batch)
+	}
 	q := e.queues[id]
 	for {
-		it, ok := q.pop()
+		it, ok := q.tryPop()
 		if !ok {
-			e.visits.Add(ctx.visits)
-			e.pushes.Add(ctx.pushes)
-			e.workerVisits[id] = ctx.visits
-			return
+			// Drain trigger: deliver every buffered visitor before blocking,
+			// so a waiting worker never holds undelivered work.
+			if ctx.out != nil {
+				ctx.out.flush()
+			}
+			it, ok = q.pop()
+			if !ok {
+				e.visits.Add(ctx.visits)
+				e.pushes.Add(ctx.pushes)
+				e.workerVisits[id] = ctx.visits
+				return
+			}
 		}
 		if !e.aborted.Load() {
 			ctx.visits++
@@ -333,7 +361,7 @@ func (e *Engine[V]) worker(id int) {
 				e.fail(err)
 			}
 		}
-		if e.outstanding.Add(-1) == 0 {
+		if e.term.Finish() {
 			e.finish()
 		}
 	}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// This file is the engine's algorithm layer: one generic label-relaxation
+// kernel that BFS, SSSP, and CC all instantiate (the paper's Algorithms 2 and
+// 4 are the same visitor with different relaxation arithmetic). The kernel is
+// parameterized over graph.Adjacency, so every algorithm runs unchanged
+// against the in-memory CSR and the semi-external store — SEM traversals get
+// SemiSort, CoarseShift, queue selection, and mailbox batching with no
+// per-backend visitor code.
+//
+// The shared visitor body (label-correcting, §III-B):
+//
+//	if it.Pri >= label[v]: return            // stale visitor, drop
+//	label[v] = it.Pri                        // relax vertex information
+//	for each neighbor t of v:
+//	    push(step(it.Pri, weight), t)        // propose a better label
+//
+// Correctness does not depend on visit order: every relaxation is monotone,
+// so any interleaving (including mailbox-delayed delivery) converges to the
+// same labels, verified against the serial baselines in tests.
+
+// stepFunc computes the label proposed to a neighbor reached over an edge of
+// weight w from a vertex whose label just became pri.
+type stepFunc func(pri uint64, w graph.Weight) uint64
+
+func bfsStep(pri uint64, _ graph.Weight) uint64  { return pri + 1 }
+func ssspStep(pri uint64, w graph.Weight) uint64 { return pri + uint64(w) }
+func ccStep(pri uint64, _ graph.Weight) uint64   { return pri }
+
+// runKernel executes the shared label-relaxation traversal. labels must be
+// length NumVertices and initialized to graph.InfDist ("initialized to
+// infinity"). parent, when non-nil, records the proposing vertex of each
+// accepted label (tree edges for BFS/SSSP); pass nil for algorithms without
+// parent tracking (CC). seed issues the initial visitors between Start and
+// Wait.
+func runKernel[V graph.Vertex](
+	g graph.Adjacency[V],
+	cfg Config,
+	labels []graph.Dist,
+	parent []V,
+	step stepFunc,
+	seed func(e *Engine[V]),
+) (Stats, error) {
+	e := New[V](cfg, func(ctx *Ctx[V], it pq.Item) error {
+		v := V(it.V)
+		if it.Pri >= labels[v] {
+			return nil // stale visitor: current label is already as good
+		}
+		labels[v] = it.Pri // relax vertex information
+		var aux uint64
+		if parent != nil {
+			parent[v] = V(it.Aux)
+			aux = uint64(v)
+		}
+		targets, weights, err := g.Neighbors(v, ctx.Scratch)
+		if err != nil {
+			return err
+		}
+		if weights == nil {
+			for _, t := range targets {
+				ctx.Push(step(it.Pri, 1), t, aux)
+			}
+		} else {
+			for i, t := range targets {
+				ctx.Push(step(it.Pri, weights[i]), t, aux)
+			}
+		}
+		return nil
+	})
+	e.Start()
+	seed(e)
+	return e.Wait()
+}
+
+// initLabels fills labels with InfDist and parent (if non-nil) with NoVertex.
+func initLabels[V graph.Vertex](labels []graph.Dist, parent []V) {
+	for i := range labels {
+		labels[i] = graph.InfDist
+	}
+	if parent != nil {
+		no := graph.NoVertex[V]()
+		for i := range parent {
+			parent[i] = no
+		}
+	}
+}
+
+// BFS computes a breadth-first search by running the relaxation kernel with
+// every edge weight treated as 1 (§III-B: "BFS = SSSP with all edge weights
+// equal to 1"), so the same code path serves weighted graph storage.
+func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V], error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
+	}
+	res := &BFSResult[V]{
+		Level:  make([]graph.Dist, n),
+		Parent: make([]V, n),
+	}
+	initLabels(res.Level, res.Parent)
+	st, err := runKernel(g, cfg, res.Level, res.Parent, bfsStep, func(e *Engine[V]) {
+		e.Push(0, src, uint64(src))
+	})
+	res.Stats = st
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SSSP computes single-source shortest paths with the asynchronous
+// label-correcting traversal of Algorithms 1 and 2: a hybrid of Bellman-Ford
+// (label correction, no global ordering) and Dijkstra (each queue pops its
+// locally shortest path first). Vertices may be visited multiple times; the
+// relaxation predicate makes every visit monotone, so the final labels equal
+// Dijkstra's. Only non-negative weights are supported (uint32 enforces this
+// by construction).
+func SSSP[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*SSSPResult[V], error) {
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
+	}
+	res := &SSSPResult[V]{
+		Dist:   make([]graph.Dist, n),
+		Parent: make([]V, n),
+	}
+	initLabels(res.Dist, res.Parent)
+	st, err := runKernel(g, cfg, res.Dist, res.Parent, ssspStep, func(e *Engine[V]) {
+		e.Push(0, src, uint64(src)) // source visitor with path length 0, parent = self
+	})
+	res.Stats = st
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CC computes connected components of an undirected graph (the input must be
+// symmetric, e.g. produced with Builder.Symmetrize). The computation starts a
+// visitor at every vertex labeled with its own id; when traversals merge, the
+// one started from the lowest id "takes over the remainder of both
+// traversals" (§III-C). Prioritizing smaller candidate ids prunes doomed
+// traversals early.
+func CC[V graph.Vertex](g graph.Adjacency[V], cfg Config) (*CCResult[V], error) {
+	n := g.NumVertices()
+	labels := make([]graph.Dist, n)
+	initLabels[V](labels, nil) // the paper's "initialized to infinity"
+	st, err := runKernel(g, cfg, labels, nil, ccStep, func(e *Engine[V]) {
+		e.ParallelInit(n, func(i uint64) (uint64, V, uint64) {
+			return i, V(i), 0 // each vertex starts as its own component id
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CCResult[V]{ID: make([]V, n), Stats: st}
+	no := graph.NoVertex[V]()
+	for i, l := range labels {
+		if l == graph.InfDist {
+			res.ID[i] = no
+		} else {
+			res.ID[i] = V(l)
+		}
+	}
+	return res, nil
+}

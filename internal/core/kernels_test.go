@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sem"
+)
+
+// semMirror serializes g into the semi-external format and reopens it with
+// the edge records behind a ReaderAt store, so traversals exercise the SEM
+// Neighbors path (per-visit positional reads into worker scratch).
+func semMirror(t testing.TB, g *graph.CSR[uint32]) *sem.Graph[uint32] {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sem.WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sem.Open[uint32](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+// TestKernelIMAndSEMMatchSerialBaselines is the algorithm-layer contract:
+// BFS, SSSP, and CC run through the one relaxation kernel against both the
+// in-memory CSR and the semi-external store, and all six combinations must
+// match the serial baselines label-for-label.
+func TestKernelIMAndSEMMatchSerialBaselines(t *testing.T) {
+	dg := randomDigraph(t, 300, 1500, true, 11) // weighted digraph: BFS + SSSP
+	ug := randomUndirected(t, 300, 900, 12)     // symmetric: CC
+
+	wantLevel, err := baseline.SerialBFS[uint32](dg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, _, err := baseline.SerialDijkstra[uint32](dg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, err := baseline.SerialCC[uint32](ug)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backends := []struct {
+		name     string
+		directed graph.Adjacency[uint32]
+		undirect graph.Adjacency[uint32]
+	}{
+		{"IM", dg, ug},
+		{"SEM", semMirror(t, dg), semMirror(t, ug)},
+	}
+	for _, be := range backends {
+		for _, cfg := range []Config{
+			{Workers: 8},
+			{Workers: 8, SemiSort: true},
+		} {
+			name := fmt.Sprintf("%s/semisort=%v", be.name, cfg.SemiSort)
+			t.Run(name, func(t *testing.T) {
+				bfs, err := BFS[uint32](be.directed, 0, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range wantLevel {
+					if bfs.Level[v] != wantLevel[v] {
+						t.Fatalf("BFS level[%d] = %d, want %d", v, bfs.Level[v], wantLevel[v])
+					}
+				}
+				sssp, err := SSSP[uint32](be.directed, 0, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range wantDist {
+					if sssp.Dist[v] != wantDist[v] {
+						t.Fatalf("SSSP dist[%d] = %d, want %d", v, sssp.Dist[v], wantDist[v])
+					}
+				}
+				cc, err := CC[uint32](be.undirect, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range wantID {
+					if cc.ID[v] != wantID[v] {
+						t.Fatalf("CC id[%d] = %d, want %d", v, cc.ID[v], wantID[v])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrossQueueEquivalence is the cross-queue property test: on random RMAT
+// and Erdős–Rényi graphs, BFS labels must be identical across every queue
+// discipline — binary heap vs bucket queue, semi-sort on or off, batched
+// mailboxes or lock-per-push. The label-correcting kernel guarantees the
+// final labels are independent of visit order.
+func TestCrossQueueEquivalence(t *testing.T) {
+	type workload struct {
+		name string
+		g    *graph.CSR[uint32]
+	}
+	var workloads []workload
+	for seed := uint64(1); seed <= 3; seed++ {
+		rm, err := gen.RMAT[uint32](8, 8, gen.RMATA, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, workload{fmt.Sprintf("rmat-%d", seed), rm})
+		er, err := gen.ErdosRenyi[uint32](300, 1800, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, workload{fmt.Sprintf("er-%d", seed), er})
+	}
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"heap", Config{Workers: 6, Queue: QueueHeap}},
+		{"heap-semisort", Config{Workers: 6, Queue: QueueHeap, SemiSort: true}},
+		{"heap-semisort-direct", Config{Workers: 6, Queue: QueueHeap, SemiSort: true, Batch: 1}},
+		{"bucket", Config{Workers: 6, Queue: QueueBucket}},
+		{"bucket-direct", Config{Workers: 6, Queue: QueueBucket, Batch: 1}},
+	}
+	for _, w := range workloads {
+		src := uint32(0)
+		want, err := baseline.SerialBFS[uint32](w.g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, variant := range variants {
+			res, err := BFS[uint32](w.g, src, variant.cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.name, variant.name, err)
+			}
+			for v := range want {
+				if res.Level[v] != want[v] {
+					t.Fatalf("%s/%s: level[%d] = %d, want %d",
+						w.name, variant.name, v, res.Level[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestMailboxBatchingMatchesLockPerPush pins the mailbox acceptance
+// criterion directly: batched delivery must produce traversal results
+// identical to the lock-per-push path for all three algorithms, across batch
+// sizes that force both the size trigger and the drain trigger.
+func TestMailboxBatchingMatchesLockPerPush(t *testing.T) {
+	dg := randomDigraph(t, 400, 2400, true, 31)
+	ug := randomUndirected(t, 400, 1200, 32)
+	base := Config{Workers: 8, Batch: 1}
+	wantBFS, err := BFS[uint32](dg, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSSSP, err := SSSP[uint32](dg, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC, err := CC[uint32](ug, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{2, 3, DefaultBatch, 1024} {
+		cfg := Config{Workers: 8, Batch: batch}
+		bfs, err := BFS[uint32](dg, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sssp, err := SSSP[uint32](dg, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := CC[uint32](ug, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range wantBFS.Level {
+			if bfs.Level[v] != wantBFS.Level[v] {
+				t.Fatalf("batch=%d: BFS level[%d] = %d, want %d", batch, v, bfs.Level[v], wantBFS.Level[v])
+			}
+			if sssp.Dist[v] != wantSSSP.Dist[v] {
+				t.Fatalf("batch=%d: SSSP dist[%d] = %d, want %d", batch, v, sssp.Dist[v], wantSSSP.Dist[v])
+			}
+		}
+		for v := range wantCC.ID {
+			if cc.ID[v] != wantCC.ID[v] {
+				t.Fatalf("batch=%d: CC id[%d] = %d, want %d", batch, v, cc.ID[v], wantCC.ID[v])
+			}
+		}
+	}
+}
+
+// TestKernelSEMWithSemiSortAndCoarsen gives the SEM backend the optimization
+// knobs that used to be IM-only concerns: semi-sort plus Δ-style coarsening
+// through the same kernel, still exact against Dijkstra.
+func TestKernelSEMWithSemiSortAndCoarsen(t *testing.T) {
+	dg := randomDigraph(t, 250, 1500, true, 17)
+	sg := semMirror(t, dg)
+	want, _, err := baseline.SerialDijkstra[uint32](dg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shift := range []uint8{0, 4, 10} {
+		res, err := SSSP[uint32](sg, 0, Config{Workers: 8, SemiSort: true, CoarseShift: shift})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if res.Dist[v] != want[v] {
+				t.Fatalf("shift=%d: dist[%d] = %d, want %d", shift, v, res.Dist[v], want[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/pq"
+)
+
+// This file is the engine's mailbox layer: the lock-protected per-worker
+// visitor queues (mailboxes) and the per-worker outboxes that batch pushes
+// destined for other owners.
+//
+// The paper hides queue-lock contention by oversubscribing threads (512 on 16
+// cores, §IV-A) so that any one queue's lock is rarely fought over. The
+// mailbox layer attacks the same cost directly: a visitor's pushes are
+// buffered in its worker's outbox, bucketed by destination owner, and
+// delivered in batches, so the destination's lock and condvar signal are
+// amortized over Config.Batch items instead of paid per push. Batching is
+// drain-triggered as well as size-triggered: a worker flushes every outbox
+// buffer before it blocks on its own empty mailbox, which bounds delivery
+// latency and makes starvation (and outbox-induced deadlock) impossible —
+// a blocked worker never holds undelivered visitors, and the termination
+// counter includes buffered visitors, so the traversal cannot be declared
+// finished while any outbox is non-empty.
+
+// workQueue is one worker's mailbox: a priority queue guarded by a mutex and
+// condvar. Only the owning worker pops; any worker (or external caller)
+// delivers into it.
+type workQueue struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	heap pq.Queue
+	done bool
+}
+
+// push delivers a single visitor (the lock-per-push path).
+func (q *workQueue) push(it pq.Item) {
+	q.mu.Lock()
+	q.heap.Push(it)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pushBatch delivers a batch of visitors under one lock acquisition and one
+// signal. Only the owning worker waits on the condvar, so Signal suffices.
+func (q *workQueue) pushBatch(its []pq.Item) {
+	if len(its) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.heap.PushBatch(its)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// tryPop removes the minimum visitor without blocking.
+func (q *workQueue) tryPop() (pq.Item, bool) {
+	q.mu.Lock()
+	it, ok := q.heap.Pop()
+	q.mu.Unlock()
+	return it, ok
+}
+
+// pop blocks until a visitor is available or the engine is done. Remaining
+// queued visitors are still drained after done is set; callers decide whether
+// to execute or discard them.
+func (q *workQueue) pop() (pq.Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if it, ok := q.heap.Pop(); ok {
+			return it, true
+		}
+		if q.done {
+			return pq.Item{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *workQueue) finish() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// outbox buffers visitors by destination owner and flushes each bucket when
+// it reaches the batch size. One outbox belongs to exactly one producer
+// goroutine (a worker, or one ParallelInit goroutine) and needs no locking of
+// its own.
+type outbox struct {
+	queues []*workQueue
+	bufs   [][]pq.Item
+	batch  int
+}
+
+func newOutbox(queues []*workQueue, batch int) *outbox {
+	return &outbox{
+		queues: queues,
+		bufs:   make([][]pq.Item, len(queues)),
+		batch:  batch,
+	}
+}
+
+// add buffers a visitor for the given owner, flushing that owner's bucket if
+// it reached the batch size. The caller must already have registered the
+// visitor with the Terminator.
+func (o *outbox) add(owner int, it pq.Item) {
+	buf := append(o.bufs[owner], it)
+	if len(buf) >= o.batch {
+		o.queues[owner].pushBatch(buf)
+		o.bufs[owner] = buf[:0]
+		return
+	}
+	o.bufs[owner] = buf
+}
+
+// flush delivers every buffered visitor (the drain trigger). Must be called
+// before the producer blocks or exits.
+func (o *outbox) flush() {
+	for owner, buf := range o.bufs {
+		if len(buf) > 0 {
+			o.queues[owner].pushBatch(buf)
+			o.bufs[owner] = buf[:0]
+		}
+	}
+}

@@ -1,14 +1,12 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
-	"repro/internal/pq"
 )
 
 // SSSPResult holds the output of a single-source shortest path traversal:
 // per-vertex path length and parent, the paper's dist_array / parent_array.
+// The traversal itself is the shared relaxation kernel in kernels.go.
 type SSSPResult[V graph.Vertex] struct {
 	Dist   []graph.Dist // InfDist for unreachable vertices
 	Parent []V          // NoVertex for unreachable vertices; source parents itself
@@ -17,54 +15,3 @@ type SSSPResult[V graph.Vertex] struct {
 
 // Reached reports whether v was reached from the source.
 func (r *SSSPResult[V]) Reached(v V) bool { return r.Dist[v] != graph.InfDist }
-
-// SSSP computes single-source shortest paths with the asynchronous
-// label-correcting traversal of Algorithms 1 and 2: a hybrid of Bellman-Ford
-// (label correction, no global ordering) and Dijkstra (each queue pops its
-// locally shortest path first). Vertices may be visited multiple times; the
-// relaxation predicate makes every visit monotone, so the final labels equal
-// Dijkstra's. Only non-negative weights are supported (uint32 enforces this
-// by construction).
-func SSSP[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*SSSPResult[V], error) {
-	n := g.NumVertices()
-	if uint64(src) >= n {
-		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
-	}
-	res := &SSSPResult[V]{
-		Dist:   make([]graph.Dist, n),
-		Parent: make([]V, n),
-	}
-	for i := range res.Dist {
-		res.Dist[i] = graph.InfDist
-		res.Parent[i] = graph.NoVertex[V]()
-	}
-
-	e := New[V](cfg, func(ctx *Ctx[V], it pq.Item) error {
-		v := V(it.V)
-		if it.Pri >= res.Dist[v] {
-			return nil // stale visitor: current label is already as good
-		}
-		res.Dist[v] = it.Pri // relax vertex information
-		res.Parent[v] = V(it.Aux)
-		targets, weights, err := g.Neighbors(v, ctx.Scratch)
-		if err != nil {
-			return err
-		}
-		for i, t := range targets {
-			w := graph.Weight(1)
-			if weights != nil {
-				w = weights[i]
-			}
-			ctx.Push(it.Pri+uint64(w), t, uint64(v))
-		}
-		return nil
-	})
-	e.Start()
-	e.Push(0, src, uint64(src)) // source visitor with path length 0, parent = self
-	st, err := e.Wait()
-	res.Stats = st
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}

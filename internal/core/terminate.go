@@ -1,0 +1,76 @@
+package core
+
+import "sync/atomic"
+
+// Terminator implements the paper's asynchronous termination detection (the
+// pri_q_visit.wait() of §III): an atomic counter of queued-but-unfinished
+// visitors. A push increments the counter *before* the visitor is enqueued
+// (or buffered in a mailbox outbox), and the owning worker decrements it only
+// *after* the visit completes, so any visitors pushed during the visit keep
+// the count positive. The traversal has terminated exactly when the counter
+// reaches zero.
+//
+// The counter is created holding one extra "init token" so it cannot reach
+// zero while the caller is still issuing initial pushes; Release drops the
+// token when initialization is complete.
+//
+// Terminator is shared by the ownership-hashed engine (Engine) and the
+// lock-free work-stealing alternative (internal/lockfree): the detection
+// protocol is independent of the queueing discipline.
+type Terminator struct {
+	// outstanding counts queued-or-executing visitors plus the init token.
+	outstanding atomic.Int64
+	// peak is a monotone high-water mark of outstanding, maintained with a
+	// CompareAndSwap loop so concurrent pushes can never overwrite a larger
+	// observed peak with a smaller one.
+	peak atomic.Int64
+}
+
+// NewTerminator returns a Terminator holding the init token.
+func NewTerminator() *Terminator {
+	t := &Terminator{}
+	t.outstanding.Store(1)
+	return t
+}
+
+// Start registers one unit of outstanding work. Call before making the work
+// visible to any consumer.
+func (t *Terminator) Start() {
+	out := t.outstanding.Add(1)
+	for {
+		p := t.peak.Load()
+		if out <= p || t.peak.CompareAndSwap(p, out) {
+			return
+		}
+	}
+}
+
+// Finish completes one unit of work and reports whether the computation has
+// terminated (counter reached zero).
+func (t *Terminator) Finish() bool {
+	return t.outstanding.Add(-1) == 0
+}
+
+// Release drops the init token once the caller has issued every initial unit
+// of work, and reports whether the computation already terminated (no work
+// was ever outstanding, or all of it finished before Release).
+func (t *Terminator) Release() bool {
+	return t.Finish()
+}
+
+// Outstanding reports the current count, including the init token while held.
+// Intended for diagnostics; the value is immediately stale under concurrency.
+func (t *Terminator) Outstanding() int64 {
+	return t.outstanding.Load()
+}
+
+// Peak reports the maximum number of simultaneously outstanding work units
+// observed, excluding the init token — the paper's available path-parallelism
+// measurement (§III-B1).
+func (t *Terminator) Peak() int64 {
+	p := t.peak.Load() - 1 // exclude the init token
+	if p < 0 {
+		return 0
+	}
+	return p
+}

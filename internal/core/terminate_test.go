@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTerminatorSequential(t *testing.T) {
+	term := NewTerminator()
+	if term.Peak() != 0 {
+		t.Fatalf("fresh peak = %d", term.Peak())
+	}
+	for i := 0; i < 5; i++ {
+		term.Start()
+	}
+	if term.Peak() != 5 {
+		t.Fatalf("peak = %d, want 5", term.Peak())
+	}
+	for i := 0; i < 5; i++ {
+		if done := term.Finish(); done {
+			t.Fatal("terminated with init token still held")
+		}
+	}
+	if !term.Release() {
+		t.Fatal("Release did not report termination")
+	}
+	if term.Peak() != 5 {
+		t.Fatalf("peak after completion = %d, want 5", term.Peak())
+	}
+}
+
+func TestTerminatorReleaseWithNoWork(t *testing.T) {
+	term := NewTerminator()
+	if !term.Release() {
+		t.Fatal("Release with no work must terminate immediately")
+	}
+}
+
+// TestTerminatorPeakConcurrent pins the CAS-max fix for the peak tracker:
+// when G units are outstanding simultaneously, the recorded peak must be
+// exactly G. The previous load-then-store update could interleave two pushes
+// so that the larger observed count was overwritten by the smaller one.
+func TestTerminatorPeakConcurrent(t *testing.T) {
+	const goroutines = 64
+	for round := 0; round < 50; round++ {
+		term := NewTerminator()
+		var start, finish sync.WaitGroup
+		gate := make(chan struct{})
+		start.Add(goroutines)
+		finish.Add(goroutines)
+		for i := 0; i < goroutines; i++ {
+			go func() {
+				<-gate
+				term.Start()
+				start.Done()
+				start.Wait() // all Starts complete before any Finish
+				term.Finish()
+				finish.Done()
+			}()
+		}
+		close(gate)
+		finish.Wait()
+		// The goroutine whose increment observed the full count loops its
+		// CompareAndSwap until the peak reflects it, so the maximum can
+		// never be lost.
+		if got := term.Peak(); got != goroutines {
+			t.Fatalf("round %d: peak = %d, want %d", round, got, goroutines)
+		}
+		if !term.Release() {
+			t.Fatal("not terminated after all work finished")
+		}
+	}
+}

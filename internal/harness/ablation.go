@@ -260,6 +260,42 @@ func AblationEngine(o Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationMailbox compares batched mailbox delivery against lock-per-push on
+// the asynchronous BFS: each producer buffers visitors per destination owner
+// and delivers a full bucket under one lock acquisition and one condvar
+// signal, amortizing the destination queue's synchronization over Batch items.
+func AblationMailbox(o Options) (*Table, error) {
+	t := &Table{
+		Title: "Ablation: mailbox batching (async BFS, RMAT-A)",
+		Note:  "batch=1 locks the destination queue per push; batch>1 delivers per-owner buffers in one acquisition",
+		Cols:  []string{"batch", "workers", "time(s)", "visits", "peakOutstanding"},
+	}
+	scale := o.Scales[len(o.Scales)-1]
+	g, err := gen.RMAT[uint32](scale, o.Degree, gen.RMATA, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	src := pickSource(g)
+	adj := o.wrap(g)
+	for _, batch := range []int{1, 16, core.DefaultBatch, 256} {
+		for _, w := range []int{16, 512} {
+			var res *core.BFSResult[uint32]
+			dur, err := timeIt(func() error {
+				var err error
+				res, err = core.BFS[uint32](adj, src, core.Config{Workers: w, Batch: batch})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmt.Sprintf("%d", batch), fmt.Sprintf("%d", w), Seconds(dur),
+				fmt.Sprintf("%d", res.Stats.Visits), fmt.Sprintf("%d", res.Stats.PeakOutstanding))
+			o.logf("ablation-mailbox: batch=%d workers=%d done\n", batch, w)
+		}
+	}
+	return t, nil
+}
+
 // AblationStripe sweeps RAID-0 stripe width at fixed aggregate parallelism:
 // the paper's configurations are all 4-member software RAID 0 arrays, and
 // striping is what lets commodity SATA SSDs reach array-level IOPS.
@@ -434,8 +470,8 @@ func Ablations(o Options) ([]*Table, error) {
 	var tables []*Table
 	for _, fn := range []func(Options) (*Table, error){
 		AblationOversubscription, AblationHash, AblationSemiSort, AblationCache,
-		AblationCoarsen, AblationEngine, AblationStripe, AblationSSSP,
-		AblationWriteAsymmetry,
+		AblationCoarsen, AblationEngine, AblationMailbox, AblationStripe,
+		AblationSSSP, AblationWriteAsymmetry,
 	} {
 		tbl, err := fn(o)
 		if err != nil {

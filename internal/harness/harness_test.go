@@ -152,8 +152,8 @@ func TestFigure2AndAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(abl) != 9 {
-		t.Fatalf("ablations = %d tables, want 9", len(abl))
+	if len(abl) != 10 {
+		t.Fatalf("ablations = %d tables, want 10", len(abl))
 	}
 	for _, tbl := range abl {
 		if len(tbl.Rows) == 0 {

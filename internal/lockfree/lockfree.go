@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pq"
 )
@@ -80,12 +81,15 @@ type engine struct {
 	visit   visitFunc
 	workers []*worker
 
-	outstanding atomic.Int64
-	done        atomic.Bool
-	aborted     atomic.Bool
-	errOnce     sync.Once
-	err         error
-	wg          sync.WaitGroup
+	// term is the shared outstanding-work termination detector: the
+	// detection protocol is identical under ownership hashing and work
+	// stealing, so both engines consume core.Terminator.
+	term    *core.Terminator
+	done    atomic.Bool
+	aborted atomic.Bool
+	errOnce sync.Once
+	err     error
+	wg      sync.WaitGroup
 
 	visits atomic.Uint64
 	steals atomic.Uint64
@@ -102,20 +106,19 @@ type worker struct {
 // push enqueues onto the worker's own queue (locality-first; stealing
 // rebalances).
 func (w *worker) push(it pq.Item) {
-	w.e.outstanding.Add(1)
+	w.e.term.Start()
 	w.e.queues[w.id].push(it)
 }
 
 func newEngine(cfg Config, visit visitFunc) *engine {
 	cfg.normalize()
-	e := &engine{cfg: cfg, visit: visit}
+	e := &engine{cfg: cfg, visit: visit, term: core.NewTerminator()}
 	e.queues = make([]*queue, cfg.Workers)
 	e.workers = make([]*worker, cfg.Workers)
 	for i := range e.queues {
 		e.queues[i] = &queue{heap: pq.New(false)}
 		e.workers[i] = &worker{e: e, id: i, scratch: &graph.Scratch[uint32]{}}
 	}
-	e.outstanding.Store(1) // init token
 	return e
 }
 
@@ -169,7 +172,7 @@ func (e *engine) run(w *worker) {
 				e.fail(err)
 			}
 		}
-		if e.outstanding.Add(-1) == 0 {
+		if e.term.Finish() {
 			e.done.Store(true)
 		}
 	}
@@ -183,7 +186,7 @@ func (e *engine) start() {
 }
 
 func (e *engine) wait() (Stats, error) {
-	if e.outstanding.Add(-1) == 0 {
+	if e.term.Release() {
 		e.done.Store(true)
 	}
 	e.wg.Wait()

@@ -5,6 +5,10 @@ package pq
 type Queue interface {
 	// Push inserts a visitor.
 	Push(Item)
+	// PushBatch inserts a batch of visitors in one operation (the mailbox
+	// layer's amortized delivery path). Implementations must consume the
+	// slice before returning; callers may reuse its backing array.
+	PushBatch([]Item)
 	// Pop removes a minimum-priority visitor; ok is false when empty.
 	Pop() (Item, bool)
 	// Len reports the number of queued visitors.
@@ -56,6 +60,15 @@ func (b *BucketQueue) Push(it Item) {
 	b.length++
 	if b.length > b.maxLen {
 		b.maxLen = b.length
+	}
+}
+
+// PushBatch inserts a batch of items. Batches from the engine's mailbox
+// layer cluster on few distinct priorities (BFS levels), so most inserts hit
+// an existing bucket.
+func (b *BucketQueue) PushBatch(its []Item) {
+	for _, it := range its {
+		b.Push(it)
 	}
 }
 

@@ -60,7 +60,24 @@ func (h *Heap) Push(it Item) {
 	if len(h.items) > h.maxLen {
 		h.maxLen = len(h.items)
 	}
-	i := len(h.items) - 1
+	h.siftUp(len(h.items) - 1)
+}
+
+// PushBatch inserts a batch of items, growing the backing array once. The
+// engine's mailbox layer delivers outbox flushes through this path so the
+// queue lock is held for one amortized operation instead of len(its) calls.
+// The input slice is consumed before PushBatch returns; callers may reuse it.
+func (h *Heap) PushBatch(its []Item) {
+	h.items = append(h.items, its...)
+	if len(h.items) > h.maxLen {
+		h.maxLen = len(h.items)
+	}
+	for i := len(h.items) - len(its); i < len(h.items); i++ {
+		h.siftUp(i)
+	}
+}
+
+func (h *Heap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !h.less(h.items[i], h.items[parent]) {
