@@ -55,6 +55,7 @@ var benchGraphs struct {
 	chain      *graph.CSR[uint32]
 	semFile    []byte // directed graph serialized for SEM runs
 	semFileU   []byte // undirected graph serialized for SEM CC runs
+	semFileW   []byte // weighted (UW) graph serialized for SEM SSSP runs
 }
 
 func graphs(tb testing.TB) *struct {
@@ -68,6 +69,7 @@ func graphs(tb testing.TB) *struct {
 	chain      *graph.CSR[uint32]
 	semFile    []byte
 	semFileU   []byte
+	semFileW   []byte
 } {
 	benchGraphs.once.Do(func() {
 		must := func(err error) {
@@ -99,6 +101,9 @@ func graphs(tb testing.TB) *struct {
 		buf.Reset()
 		must(sem.WriteCSR(&buf, benchGraphs.undirected))
 		benchGraphs.semFileU = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		must(sem.WriteCSR(&buf, benchGraphs.weightedUW))
+		benchGraphs.semFileW = append([]byte(nil), buf.Bytes()...)
 	})
 	return &benchGraphs
 }
@@ -328,6 +333,78 @@ func BenchmarkTable5SEMCC(b *testing.B) {
 			}
 			edgesPerSec(b, gs.undirected.NumEdges())
 		})
+	}
+}
+
+// semMountRaw mounts a SEM graph directly on the simulated device with no
+// block cache: every adjacency access is a device read, the regime where the
+// prefetch pipeline's span coalescing is the only source of locality.
+func semMountRaw(b *testing.B, file []byte, p ssd.Profile, window int) (*sem.Graph[uint32], *ssd.Device) {
+	b.Helper()
+	dev := ssd.New(p, &ssd.MemBacking{Data: file})
+	sg, err := sem.Open[uint32](dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if window > 1 {
+		sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: sem.DefaultPrefetchGap})
+	}
+	return sg, dev
+}
+
+// BenchmarkSEMTraversal measures the asynchronous SEM I/O pipeline: BFS and
+// SSSP per flash profile with the pop-window prefetcher off (the historical
+// one-read-per-visit path) and on. With the device cold and uncached, the
+// prefetch win is the coalescing rate: v/span vertices serviced per device
+// read, each span paying one latency term instead of v/span of them.
+func BenchmarkSEMTraversal(b *testing.B) {
+	gs := graphs(b)
+	const window = 16
+	algos := []struct {
+		name string
+		file []byte
+		run  func(sg *sem.Graph[uint32], prefetch int) error
+	}{
+		{"BFS", gs.semFile, func(sg *sem.Graph[uint32], prefetch int) error {
+			_, err := core.BFS[uint32](sg, gs.src, core.Config{
+				Workers: 128, SemiSort: true, Prefetch: prefetch,
+			})
+			return err
+		}},
+		{"SSSP", gs.semFileW, func(sg *sem.Graph[uint32], prefetch int) error {
+			_, err := core.SSSP[uint32](sg, gs.src, core.Config{
+				Workers: 128, SemiSort: true, Prefetch: prefetch,
+			})
+			return err
+		}},
+	}
+	for _, a := range algos {
+		for _, p := range ssd.Profiles {
+			for _, prefetch := range []int{0, window} {
+				mode := "off"
+				if prefetch > 1 {
+					mode = fmt.Sprintf("window%d", prefetch)
+				}
+				b.Run(fmt.Sprintf("%s/%s/%s", a.name, p.Name, mode), func(b *testing.B) {
+					var reads, spans, verts uint64
+					for i := 0; i < b.N; i++ {
+						sg, dev := semMountRaw(b, a.file, p, prefetch)
+						if err := a.run(sg, prefetch); err != nil {
+							b.Fatal(err)
+						}
+						reads += dev.Stats().Reads
+						ps := sg.PrefetchStats()
+						spans += ps.Spans
+						verts += ps.Vertices
+					}
+					edgesPerSec(b, gs.directed.NumEdges())
+					b.ReportMetric(float64(reads)/float64(b.N), "devReads/op")
+					if spans > 0 {
+						b.ReportMetric(float64(verts)/float64(spans), "v/span")
+					}
+				})
+			}
+		}
 	}
 }
 

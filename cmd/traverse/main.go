@@ -36,9 +36,12 @@ func main() {
 		src      = flag.Uint64("src", 0, "source vertex (bfs/sssp); max-degree vertex if unset")
 		autoSrc  = flag.Bool("autosrc", true, "pick the max-degree vertex as source")
 		semMode  = flag.Bool("sem", false, "semi-external: leave edges on a simulated flash device")
+		nocache  = flag.Bool("nocache", false, "mount the flash device without the block cache (every adjacency read hits the device; the regime BenchmarkSEMTraversal measures)")
 		profile  = flag.String("profile", "FusionIO", "flash profile for -sem: FusionIO, Intel, Corsair")
 		semisort = flag.Bool("semisort", true, "secondary vertex-id sort key (SEM locality)")
 		batch    = flag.Int("batch", 0, "async mailbox batch size: 0 = default, 1 = lock-per-push")
+		prefetch = flag.Int("prefetch", 0, "SEM pop-window size: pop this many visitors at once and start their adjacency reads asynchronously (0 = off)")
+		prefgap  = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap bridged when coalescing prefetched adjacency extents into one device read")
 		check    = flag.Bool("check", false, "verify async results against the serial baseline")
 	)
 	flag.Parse()
@@ -47,13 +50,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *profile, *semisort, *batch, *check); err != nil {
+	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *nocache, *profile, *semisort, *batch, *prefetch, *prefgap, *check); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode bool, profile string, semisort bool, batch int, check bool) error {
+func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode, nocache bool, profile string, semisort bool, batch, prefetch, prefetchGap int, check bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -66,19 +69,29 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 
 	var adj graph.Adjacency[uint32]
 	var im *graph.CSR[uint32]
+	var dev *ssd.Device
+	var cache *sem.CachedStore
+	var sg *sem.Graph[uint32]
 	if semMode {
 		p, err := ssd.ProfileByName(profile)
 		if err != nil {
 			return err
 		}
-		dev := ssd.New(p, backing)
-		cache, err := sem.NewCachedStoreRA(dev, 4096, backing.Size()/2, 8)
+		dev = ssd.New(p, backing)
+		var store sem.Store = dev
+		if !nocache {
+			cache, err = sem.NewCachedStoreRA(dev, 4096, backing.Size()/2, 8)
+			if err != nil {
+				return err
+			}
+			store = cache
+		}
+		sg, err = sem.Open[uint32](store)
 		if err != nil {
 			return err
 		}
-		sg, err := sem.Open[uint32](cache)
-		if err != nil {
-			return err
+		if prefetch > 1 {
+			sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
 		}
 		fmt.Printf("semi-external: %d vertices, %d edges, %d edge bytes on %s\n",
 			sg.NumVertices(), sg.NumEdges(), sg.EdgeBytes(), p.Name)
@@ -98,7 +111,7 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		fmt.Printf("source: %d (max degree %d)\n", src, adj.Degree(uint32(src)))
 	}
 
-	cfg := core.Config{Workers: workers, SemiSort: semisort, Batch: batch}
+	cfg := core.Config{Workers: workers, SemiSort: semisort, Batch: batch, Prefetch: prefetch}
 	start := time.Now()
 	switch {
 	case algo == "bfs" && engine == "async":
@@ -225,7 +238,31 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 	default:
 		return fmt.Errorf("unsupported -algo %q with -engine %q", algo, engine)
 	}
+	if semMode {
+		reportSemIO(dev, cache, sg)
+	}
 	return nil
+}
+
+// reportSemIO prints the end-to-end I/O picture of a semi-external run:
+// device operation and byte counts, block-cache effectiveness, and — when
+// the prefetch pipeline was on — its span-coalescing counters.
+func reportSemIO(dev *ssd.Device, cache *sem.CachedStore, sg *sem.Graph[uint32]) {
+	st := dev.Stats()
+	fmt.Printf("device: reads=%d writes=%d bytesRead=%d avgRead=%.0fB maxRead=%dB\n",
+		st.Reads, st.Writes, st.BytesRead, st.AvgReadBytes(), st.MaxReadBytes)
+	if cache != nil {
+		hits, misses := cache.Stats()
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("cache: hits=%d misses=%d hitRate=%.1f%%\n", hits, misses, hitRate)
+	}
+	if ps := sg.PrefetchStats(); ps.Windows > 0 {
+		fmt.Printf("prefetch: windows=%d vertices=%d spans=%d v/span=%.1f spanBytes=%d gapBytes=%d consumed=%.0f%%\n",
+			ps.Windows, ps.Vertices, ps.Spans, ps.VertsPerSpan(), ps.SpanBytes, ps.GapBytes, 100*ps.ConsumedFrac())
+	}
 }
 
 func maxDegreeVertex(g graph.Adjacency[uint32]) uint64 {

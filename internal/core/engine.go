@@ -70,6 +70,17 @@ type Config struct {
 	// destination queue's lock, the engine's original behavior, kept
 	// selectable for the mailbox ablation.
 	Batch int
+	// Prefetch is the pop-window size of the semi-external I/O pipeline: a
+	// worker pops up to Prefetch visitors from its queue in one batch and
+	// announces their vertices to the storage back end (via
+	// graph.BatchAdjacency) so adjacency reads are in flight before the
+	// visits run. 0 and 1 disable the window, preserving one-pop-per-visit
+	// behavior exactly; back ends that do not implement BatchAdjacency (the
+	// in-memory CSR) are unaffected at any setting. Window-order visiting is
+	// safe for the label-correcting kernels by the same monotonicity argument
+	// as CoarseShift, and exclusive vertex ownership is untouched — every
+	// popped visitor still belongs to the popping worker.
+	Prefetch int
 }
 
 // QueueKind selects the per-worker visitor queue implementation.
@@ -104,6 +115,9 @@ func (c *Config) normalize() {
 	}
 	if c.Batch < 1 {
 		c.Batch = 1
+	}
+	if c.Prefetch < 0 {
+		c.Prefetch = 0
 	}
 }
 
@@ -211,6 +225,11 @@ type Engine[V graph.Vertex] struct {
 
 	// workerVisits[i] is written only by worker i and read after wg.Wait.
 	workerVisits []uint64
+
+	// prefetch, when set (SetPrefetch), receives each worker's pop-window
+	// before the window's visitors execute, so a storage back end can start
+	// adjacency I/O early. Only consulted when cfg.Prefetch > 1.
+	prefetch func(window []pq.Item, scratch *graph.Scratch[V])
 }
 
 // New creates an engine that will execute visit for every queued visitor.
@@ -225,6 +244,15 @@ func New[V graph.Vertex](cfg Config, visit VisitFunc[V]) *Engine[V] {
 		e.queues[i] = q
 	}
 	return e
+}
+
+// SetPrefetch registers the pop-window hook: fn is called with each batch of
+// popped visitors (all owned by the calling worker) and that worker's scratch
+// before any of the batch executes. Must be called before Start. The hook
+// only fires when Config.Prefetch > 1 and a batch holds more than one
+// visitor.
+func (e *Engine[V]) SetPrefetch(fn func(window []pq.Item, scratch *graph.Scratch[V])) {
+	e.prefetch = fn
 }
 
 // Start launches the worker goroutines. It must be called exactly once,
@@ -338,6 +366,10 @@ func (e *Engine[V]) worker(id int) {
 	if e.cfg.Batch > 1 {
 		ctx.out = newOutbox(e.queues, e.cfg.Batch)
 	}
+	if e.cfg.Prefetch > 1 && e.prefetch != nil {
+		e.workerWindowed(id, ctx)
+		return
+	}
 	q := e.queues[id]
 	for {
 		it, ok := q.tryPop()
@@ -363,6 +395,50 @@ func (e *Engine[V]) worker(id int) {
 		}
 		if e.term.Finish() {
 			e.finish()
+		}
+	}
+}
+
+// workerWindowed is the pop-window variant of the worker loop, used when
+// Config.Prefetch > 1 and a prefetch hook is registered. It pops up to
+// Prefetch visitors in one lock acquisition, announces the window to the
+// storage back end so adjacency I/O starts immediately, then executes the
+// visits in window order while the reads are in flight. All popped visitors
+// came off this worker's queue, so exclusive vertex ownership is exactly as
+// in the one-at-a-time loop.
+func (e *Engine[V]) workerWindowed(id int, ctx *Ctx[V]) {
+	q := e.queues[id]
+	window := make([]pq.Item, 0, e.cfg.Prefetch)
+	for {
+		window = q.tryPopBatch(window[:0], e.cfg.Prefetch)
+		if len(window) == 0 {
+			// Drain trigger, as in the one-at-a-time loop: deliver every
+			// buffered visitor before blocking.
+			if ctx.out != nil {
+				ctx.out.flush()
+			}
+			it, ok := q.pop()
+			if !ok {
+				e.visits.Add(ctx.visits)
+				e.pushes.Add(ctx.pushes)
+				e.workerVisits[id] = ctx.visits
+				return
+			}
+			window = append(window, it)
+		}
+		if len(window) > 1 && !e.aborted.Load() {
+			e.prefetch(window, ctx.Scratch)
+		}
+		for _, it := range window {
+			if !e.aborted.Load() {
+				ctx.visits++
+				if err := e.visit(ctx, it); err != nil {
+					e.fail(err)
+				}
+			}
+			if e.term.Finish() {
+				e.finish()
+			}
 		}
 	}
 }

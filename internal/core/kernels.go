@@ -74,6 +74,25 @@ func runKernel[V graph.Vertex](
 		}
 		return nil
 	})
+	if cfg.Prefetch > 1 {
+		if ba, ok := g.(graph.BatchAdjacency[V]); ok {
+			e.SetPrefetch(func(window []pq.Item, scratch *graph.Scratch[V]) {
+				vs := make([]V, 0, len(window))
+				for _, it := range window {
+					v := V(it.V)
+					// A stale visitor will be dropped at visit time; skip its
+					// I/O too. Reading labels here is race-free: every vertex
+					// in the window is owned by the calling worker.
+					if it.Pri < labels[v] {
+						vs = append(vs, v)
+					}
+				}
+				if len(vs) > 0 {
+					ba.NeighborsBatch(vs, scratch)
+				}
+			})
+		}
+	}
 	e.Start()
 	seed(e)
 	return e.Wait()

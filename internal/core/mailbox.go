@@ -61,6 +61,17 @@ func (q *workQueue) tryPop() (pq.Item, bool) {
 	return it, ok
 }
 
+// tryPopBatch removes up to k visitors under one lock acquisition, appending
+// them to dst (the worker's pop-window path; see Config.Prefetch). The queue
+// implementation bounds the batch: the heap hands out k successive minima,
+// the bucket queue at most the current minimum-priority bucket.
+func (q *workQueue) tryPopBatch(dst []pq.Item, k int) []pq.Item {
+	q.mu.Lock()
+	dst = q.heap.PopBatch(dst, k)
+	q.mu.Unlock()
+	return dst
+}
+
 // pop blocks until a visitor is available or the engine is done. Remaining
 // queued visitors are still drained after done is set; callers decide whether
 // to execute or discard them.

@@ -41,6 +41,11 @@ type Scratch[V Vertex] struct {
 	Targets []V
 	Weights []Weight
 	Block   []byte
+	// Prefetch is an opaque per-worker prefetch session owned by storage
+	// back ends that implement BatchAdjacency. The engine only carries it
+	// alongside the worker's other scratch state; the back end allocates and
+	// interprets it. Nil until the back end's first NeighborsBatch call.
+	Prefetch any
 }
 
 // Adjacency is the read interface the traversal engine works against. Both
@@ -54,6 +59,19 @@ type Adjacency[V Vertex] interface {
 	// parallel weight slice (nil for unweighted graphs). The returned slices
 	// are valid only until the next Neighbors call with the same scratch.
 	Neighbors(v V, scratch *Scratch[V]) (targets []V, weights []Weight, err error)
+}
+
+// BatchAdjacency is implemented by storage back ends that can service a
+// window of upcoming adjacency reads asynchronously. NeighborsBatch announces
+// the vertices the calling worker will visit next; the back end may begin I/O
+// immediately and hand each completed read to the subsequent Neighbors call
+// for that vertex on the same scratch, without copying. Reads still
+// unconsumed when the next NeighborsBatch arrives on the scratch are
+// abandoned. In-memory back ends, for which adjacency access is free, have no
+// reason to implement this.
+type BatchAdjacency[V Vertex] interface {
+	Adjacency[V]
+	NeighborsBatch(vs []V, scratch *Scratch[V])
 }
 
 // CSR is an immutable in-memory compressed sparse row graph.

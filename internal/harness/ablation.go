@@ -296,6 +296,75 @@ func AblationMailbox(o Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationPrefetch sweeps the semi-external asynchronous I/O pipeline: the
+// pop-window size (core.Config.Prefetch) against the span-coalescing gap
+// (sem.PrefetchConfig.MaxGap), per device profile. The graph is mounted on
+// the raw device with no block cache, so the devReads column is exactly the
+// number of ReadAt operations the traversal issued and the coalescing effect
+// is undiluted: window 0 pays one latency term per visited vertex, a window
+// with a generous gap pays one per span. The v/span column is the coalescing
+// rate (window vertices covered by one device read); gapB is the bytes read
+// only to bridge near-contiguous extents.
+func AblationPrefetch(o Options) (*Table, error) {
+	t := &Table{
+		Title: "Ablation: SEM prefetch pipeline (async BFS, RMAT-A, raw device)",
+		Note: fmt.Sprintf("no block cache; %d workers; window = pop-window size, gap = coalescing slack (bytes)",
+			o.SEMThreads),
+		Cols: []string{"profile", "window", "gap", "time(s)", "devReads", "avgRead(B)", "v/span", "consumed%", "gapMB"},
+	}
+	scale := o.SEMScales[len(o.SEMScales)-1]
+	g, err := gen.RMAT[uint32](scale, o.Degree, gen.RMATA, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	src := pickSource(g)
+	var buf bytes.Buffer
+	if err := sem.WriteCSR(&buf, g); err != nil {
+		return nil, err
+	}
+	type setting struct{ window, gap int }
+	settings := []setting{
+		{0, 0},
+		{16, 0},
+		{16, 4096},
+		{16, sem.DefaultPrefetchGap},
+		{64, sem.DefaultPrefetchGap},
+	}
+	for _, p := range ssd.Profiles {
+		for _, s := range settings {
+			dev := ssd.New(p, &ssd.MemBacking{Data: buf.Bytes()})
+			sg, err := sem.Open[uint32](dev)
+			if err != nil {
+				return nil, err
+			}
+			if s.window > 1 {
+				sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: s.gap})
+			}
+			dur, err := timeIt(func() error {
+				_, err := core.BFS[uint32](sg, src, core.Config{
+					Workers: o.SEMThreads, SemiSort: true, Prefetch: s.window,
+				})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			st := dev.Stats()
+			vps, consumed, gapMB := "-", "-", "-"
+			if ps := sg.PrefetchStats(); s.window > 1 {
+				vps = fmt.Sprintf("%.1f", ps.VertsPerSpan())
+				consumed = fmt.Sprintf("%.0f%%", 100*ps.ConsumedFrac())
+				gapMB = fmt.Sprintf("%.1f", float64(ps.GapBytes)/(1<<20))
+			}
+			t.Add(p.Name, fmt.Sprintf("%d", s.window), fmt.Sprintf("%d", s.gap),
+				Seconds(dur), fmt.Sprintf("%d", st.Reads),
+				fmt.Sprintf("%.0f", st.AvgReadBytes()), vps, consumed, gapMB)
+			o.logf("ablation-prefetch: %s window=%d gap=%d done\n", p.Name, s.window, s.gap)
+		}
+	}
+	return t, nil
+}
+
 // AblationStripe sweeps RAID-0 stripe width at fixed aggregate parallelism:
 // the paper's configurations are all 4-member software RAID 0 arrays, and
 // striping is what lets commodity SATA SSDs reach array-level IOPS.
@@ -470,8 +539,8 @@ func Ablations(o Options) ([]*Table, error) {
 	var tables []*Table
 	for _, fn := range []func(Options) (*Table, error){
 		AblationOversubscription, AblationHash, AblationSemiSort, AblationCache,
-		AblationCoarsen, AblationEngine, AblationMailbox, AblationStripe,
-		AblationSSSP, AblationWriteAsymmetry,
+		AblationCoarsen, AblationEngine, AblationMailbox, AblationPrefetch,
+		AblationStripe, AblationSSSP, AblationWriteAsymmetry,
 	} {
 		tbl, err := fn(o)
 		if err != nil {

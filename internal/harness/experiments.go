@@ -46,6 +46,13 @@ type Options struct {
 	// SEMReps runs each semi-external measurement this many times and
 	// reports the fastest, damping cache-timing variance.
 	SEMReps int
+	// Prefetch is the pop-window size applied to semi-external runs
+	// (core.Config.Prefetch): 0 disables the asynchronous I/O pipeline,
+	// preserving the historical one-read-per-visit behavior.
+	Prefetch int
+	// PrefetchGap is the span-coalescing slack in bytes
+	// (sem.PrefetchConfig.MaxGap); only meaningful when Prefetch > 1.
+	PrefetchGap int
 	// Fig1Threads and Fig1Duration control the IOPS sweep.
 	Fig1Threads  []int
 	Fig1Duration time.Duration

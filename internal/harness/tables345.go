@@ -135,34 +135,63 @@ func Table3(o Options) (*Table, error) {
 	return t, nil
 }
 
+// SEMIO bundles the I/O-side observability of one semi-external run — device
+// traffic, cache effectiveness, and the prefetch pipeline's coalescing
+// counters — returned alongside core.Stats by the SEM harness paths.
+type SEMIO struct {
+	Device      ssd.Stats
+	CacheHits   uint64
+	CacheMisses uint64
+	Prefetch    sem.PrefetchStats
+}
+
+// CacheHitRate reports block-cache hits over total block lookups (0 when the
+// run performed none).
+func (s SEMIO) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
 // timeSEM measures a semi-external run best-of-SEMReps, remounting a fresh
-// device and cold cache each repetition.
-func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(sg *sem.Graph[uint32]) error) (time.Duration, *ssd.Device, *sem.CachedStore, error) {
+// device and cold cache each repetition. The returned SEMIO belongs to the
+// fastest repetition.
+func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(sg *sem.Graph[uint32]) error) (time.Duration, SEMIO, error) {
 	reps := o.SEMReps
 	if reps < 1 {
 		reps = 1
 	}
 	var best time.Duration
-	var bestDev *ssd.Device
-	var bestCache *sem.CachedStore
+	var bestIO SEMIO
+	have := false
 	for r := 0; r < reps; r++ {
 		sg, dev, cache, err := semGraph(o, g, p)
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, SEMIO{}, err
 		}
 		dur, err := timeIt(func() error { return run(sg) })
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, SEMIO{}, err
 		}
-		if bestDev == nil || dur < best {
-			best, bestDev, bestCache = dur, dev, cache
+		if !have || dur < best {
+			have = true
+			best = dur
+			hits, misses := cache.Stats()
+			bestIO = SEMIO{
+				Device:      dev.Stats(),
+				CacheHits:   hits,
+				CacheMisses: misses,
+				Prefetch:    sg.PrefetchStats(),
+			}
 		}
 	}
-	return best, bestDev, bestCache, nil
+	return best, bestIO, nil
 }
 
 // semGraph serializes g into the SEM format and mounts it on a simulated
-// flash device of the given profile behind the block cache.
+// flash device of the given profile behind the block cache, enabling the
+// prefetch pipeline when o.Prefetch asks for it.
 func semGraph(o Options, g *graph.CSR[uint32], p ssd.Profile) (*sem.Graph[uint32], *ssd.Device, *sem.CachedStore, error) {
 	var buf bytes.Buffer
 	if err := sem.WriteCSR(&buf, g); err != nil {
@@ -181,6 +210,9 @@ func semGraph(o Options, g *graph.CSR[uint32], p ssd.Profile) (*sem.Graph[uint32
 	sg, err := sem.Open[uint32](cache)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if o.Prefetch > 1 {
+		sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: o.PrefetchGap})
 	}
 	return sg, dev, cache, nil
 }
@@ -224,9 +256,11 @@ func Table4(o Options) (*Table, error) {
 			}
 			var devReads uint64
 			for _, p := range ssd.Profiles {
-				dur, dev, _, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
+				dur, io, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
 					row[2] = fmt.Sprintf("%d", sg.EdgeBytes())
-					_, err := core.BFS[uint32](sg, src, core.Config{Workers: o.SEMThreads, SemiSort: true})
+					_, err := core.BFS[uint32](sg, src, core.Config{
+						Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
+					})
 					return err
 				})
 				if err != nil {
@@ -234,7 +268,7 @@ func Table4(o Options) (*Table, error) {
 				}
 				row = append(row, Seconds(dur), Ratio(bglTime, dur))
 				if p.Name == "FusionIO" {
-					devReads = dev.Stats().Reads
+					devReads = io.Device.Reads
 				}
 			}
 			// Single-threaded SEM on the fastest device: no I/O overlap.
@@ -297,9 +331,11 @@ func Table5(o Options) (*Table, error) {
 		}
 		row := []string{in.Name, fmt.Sprintf("%d", g.NumVertices()), "", Seconds(bglTime)}
 		for _, p := range ssd.Profiles {
-			dur, _, _, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
+			dur, _, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
 				row[2] = fmt.Sprintf("%d", sg.EdgeBytes())
-				_, err := core.CC[uint32](sg, core.Config{Workers: o.SEMThreads, SemiSort: true})
+				_, err := core.CC[uint32](sg, core.Config{
+					Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
+				})
 				return err
 			})
 			if err != nil {

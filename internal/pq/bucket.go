@@ -11,6 +11,12 @@ type Queue interface {
 	PushBatch([]Item)
 	// Pop removes a minimum-priority visitor; ok is false when empty.
 	Pop() (Item, bool)
+	// PopBatch removes up to k visitors in one operation, appending them to
+	// dst and returning the extended slice (the engine's pop-window path).
+	// Implementations may return fewer than k — the heap stops when it
+	// drains, the bucket queue stops at the end of the current minimum-
+	// priority bucket — but must return at least one item when non-empty.
+	PopBatch(dst []Item, k int) []Item
 	// Len reports the number of queued visitors.
 	Len() int
 	// MaxLen reports the high-water mark of Len.
@@ -70,6 +76,31 @@ func (b *BucketQueue) PushBatch(its []Item) {
 	for _, it := range its {
 		b.Push(it)
 	}
+}
+
+// PopBatch removes up to k items from the current minimum-priority bucket —
+// never across buckets, so a batch stays within one priority level (one BFS
+// frontier slice, one CC candidate id). FIFO order within the bucket is
+// preserved.
+func (b *BucketQueue) PopBatch(dst []Item, k int) []Item {
+	if b.length == 0 || k <= 0 {
+		return dst
+	}
+	key, _ := b.keys.Peek()
+	bucket := b.buckets[key.Pri]
+	take := k
+	if take > len(bucket) {
+		take = len(bucket)
+	}
+	dst = append(dst, bucket[:take]...)
+	if take == len(bucket) {
+		delete(b.buckets, key.Pri)
+		b.keys.Pop()
+	} else {
+		b.buckets[key.Pri] = bucket[take:]
+	}
+	b.length -= take
+	return dst
 }
 
 // Pop removes an item with the minimum priority (FIFO within a priority).

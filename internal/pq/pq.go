@@ -102,6 +102,21 @@ func (h *Heap) Pop() (it Item, ok bool) {
 	return it, true
 }
 
+// PopBatch removes up to k minimum items, appending them to dst and returning
+// the extended slice. The sequence is exactly what k successive Pop calls
+// would produce, so the engine's pop-window path keeps heap order. Fewer than
+// k items are returned when the heap drains first.
+func (h *Heap) PopBatch(dst []Item, k int) []Item {
+	for i := 0; i < k; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	return dst
+}
+
 // Peek returns the minimum item without removing it.
 func (h *Heap) Peek() (it Item, ok bool) {
 	if len(h.items) == 0 {

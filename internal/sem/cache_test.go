@@ -308,6 +308,99 @@ func TestConcurrentTraversalsShareCache(t *testing.T) {
 	wg.Wait()
 }
 
+func TestCachedStoreTailBlockClamp(t *testing.T) {
+	// A 100-byte store under 64-byte blocks: the final block is 36 bytes.
+	// Reads inside the clamped tail succeed byte-exact; reads crossing the
+	// end fail rather than returning fabricated bytes.
+	back := seqBacking(100)
+	c, err := NewCachedStore(fastDevice(back), 64, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 36)
+	if _, err := c.ReadAt(got, 64); err != nil {
+		t.Fatalf("tail block read: %v", err)
+	}
+	if !bytes.Equal(got, back.Data[64:100]) {
+		t.Fatal("tail block bytes differ from backing")
+	}
+	if _, err := c.ReadAt(make([]byte, 4), 96); err != nil {
+		t.Fatalf("read ending exactly at store end: %v", err)
+	}
+	if _, err := c.ReadAt(make([]byte, 5), 96); err == nil {
+		t.Fatal("read crossing store end accepted")
+	}
+}
+
+func TestCachedStoreReadaheadPastEnd(t *testing.T) {
+	// Readahead spans are clamped to the store: a miss on the final block
+	// with an 8-block readahead must fetch only what exists, in one device
+	// operation, and later reads of the prefetched blocks must hit.
+	back := seqBacking(100)
+	d := fastDevice(back)
+	c, err := NewCachedStoreRA(d, 64, 1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := c.ReadAt(buf, 64); err != nil {
+		t.Fatalf("miss on final block: %v", err)
+	}
+	if got := d.Stats().Reads; got != 1 {
+		t.Fatalf("device reads = %d, want 1 clamped span", got)
+	}
+	// The same miss from block 0 covers both blocks; re-reads are all hits.
+	c2, err := NewCachedStoreRA(fastDevice(back), 64, 1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ReadAt(buf, 90); err != nil {
+		t.Fatalf("read of readahead-filled tail: %v", err)
+	}
+	if hits, misses := c2.Stats(); misses != 1 || hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 (tail served by readahead)", hits, misses)
+	}
+}
+
+func TestCachedStoreConcurrentColdMisses(t *testing.T) {
+	// Many goroutines racing over a cold cache with overlapping block sets:
+	// singleflight must bound device reads by the number of distinct blocks,
+	// and every byte must still be exact (run under -race in CI).
+	const blocks = 8
+	back := seqBacking(blocks * 64)
+	d := fastDevice(back)
+	c, err := NewCachedStore(d, 64, blocks*64*16) // ample: no evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for i := 0; i < blocks; i++ {
+				off := int64((seed+i)%blocks) * 64
+				if _, err := c.ReadAt(buf, off); err != nil {
+					t.Errorf("read at %d: %v", off, err)
+					return
+				}
+				if !bytes.Equal(buf, back.Data[off:off+16]) {
+					t.Errorf("mismatch at %d", off)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := d.Stats().Reads; got > blocks {
+		t.Fatalf("device reads = %d, want <= %d (one per distinct block)", got, blocks)
+	}
+}
+
 func TestSEM64BitTraversal(t *testing.T) {
 	b := graph.NewBuilder[uint64](100, false)
 	for i := uint64(0); i < 99; i++ {

@@ -64,6 +64,10 @@ func (r *RAID0) Stats() Stats {
 		total.Reads += s.Reads
 		total.Writes += s.Writes
 		total.BytesRead += s.BytesRead
+		total.BytesWritten += s.BytesWritten
+		if s.MaxReadBytes > total.MaxReadBytes {
+			total.MaxReadBytes = s.MaxReadBytes
+		}
 	}
 	return total
 }

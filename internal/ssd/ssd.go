@@ -90,9 +90,22 @@ func ProfileByName(name string) (Profile, error) {
 
 // Stats counts device traffic.
 type Stats struct {
-	Reads     uint64
-	Writes    uint64
-	BytesRead uint64
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	// MaxReadBytes is the largest single read operation serviced, exposing
+	// span coalescing in the layers above: k small adjacency reads merged
+	// into one large ReadAt show up here as a multi-record span.
+	MaxReadBytes uint64
+}
+
+// AvgReadBytes reports mean bytes per read operation (0 when no reads ran).
+func (s Stats) AvgReadBytes() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.BytesRead) / float64(s.Reads)
 }
 
 // Device is a latency-simulating storage device wrapping a backing
@@ -105,9 +118,11 @@ type Device struct {
 	// excess requests queue, which is what bends the IOPS curve flat.
 	slots chan struct{}
 
-	reads     atomic.Uint64
-	writes    atomic.Uint64
-	bytesRead atomic.Uint64
+	reads        atomic.Uint64
+	writes       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	maxReadBytes atomic.Uint64
 }
 
 // Backing is the byte store behind a Device: a RAM buffer in tests and
@@ -169,9 +184,11 @@ func (d *Device) Profile() Profile { return d.profile }
 // Stats returns a snapshot of traffic counters.
 func (d *Device) Stats() Stats {
 	return Stats{
-		Reads:     d.reads.Load(),
-		Writes:    d.writes.Load(),
-		BytesRead: d.bytesRead.Load(),
+		Reads:        d.reads.Load(),
+		Writes:       d.writes.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+		MaxReadBytes: d.maxReadBytes.Load(),
 	}
 }
 
@@ -199,6 +216,12 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	d.occupy(d.serviceTime(d.profile.ReadLatency, len(p)))
 	d.reads.Add(1)
 	d.bytesRead.Add(uint64(len(p)))
+	for n := uint64(len(p)); ; {
+		cur := d.maxReadBytes.Load()
+		if n <= cur || d.maxReadBytes.CompareAndSwap(cur, n) {
+			break
+		}
+	}
 	return d.backing.ReadAt(p, off)
 }
 
@@ -207,5 +230,6 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 func (d *Device) WriteAt(p []byte, off int64) (int, error) {
 	d.occupy(d.serviceTime(d.profile.WriteLatency, len(p)))
 	d.writes.Add(1)
+	d.bytesWritten.Add(uint64(len(p)))
 	return d.backing.WriteAt(p, off)
 }
