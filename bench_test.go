@@ -17,6 +17,9 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/lockfree"
 	"repro/internal/pq"
 	"repro/internal/sem"
+	"repro/internal/server"
 	"repro/internal/ssd"
 )
 
@@ -713,4 +717,88 @@ func BenchmarkBucketQueue(b *testing.B) {
 			q.Pop()
 		}
 	}
+}
+
+// BenchmarkServerQueries measures the query service end to end, in-process:
+// HTTP decode, admission, engine-pool traversal over a shared block-cached
+// SEM store, snapshot, and render. "cold" forces a traversal per query
+// (distinct sources, cache bypassed), "cached" serves one hot key from the
+// result cache, and "concurrent" drives 16 cold clients at once against a
+// 4-slot admission gate — the issue's serving regime.
+func BenchmarkServerQueries(b *testing.B) {
+	gs := graphs(b)
+	dev := ssd.New(ssd.Profile{Name: "fast", Channels: 64, ReadLatency: time.Nanosecond},
+		&ssd.MemBacking{Data: gs.semFileW})
+	blockCache, err := sem.NewCachedStoreRA(dev, 4096, int64(len(gs.semFileW))/2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := sem.Open[uint32](blockCache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		MaxConcurrent: 4,
+		MaxQueue:      256,
+		CacheEntries:  64,
+		Engine:        core.Config{Workers: 16, Prefetch: 64},
+	})
+	if err := srv.AddGraph(server.Graph{
+		Name: "bench", Adj: sg, Storage: "sem", Device: dev, BlockCache: blockCache,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := sg.NumVertices()
+	post := func(source uint64, noCache bool) error {
+		body := fmt.Sprintf(`{"graph":"bench","kernel":"sssp","source":%d,"targets":[0],"no_cache":%v}`,
+			source, noCache)
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(uint64(i)%n, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		edgesPerSec(b, sg.NumEdges())
+	})
+	b.Run("cached", func(b *testing.B) {
+		if err := post(uint64(gs.src), false); err != nil {
+			b.Fatal(err) // prime the one hot key
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := post(uint64(gs.src), false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		var next atomic.Uint64
+		b.SetParallelism(16 / runtime.GOMAXPROCS(0))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := post(next.Add(1)%n, true); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		edgesPerSec(b, sg.NumEdges())
+	})
 }

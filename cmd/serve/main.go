@@ -1,0 +1,176 @@
+// Command serve runs the traversal query service: it loads one or more graph
+// files produced by cmd/gengraph as shared read-only stores — in-memory CSRs
+// or semi-external stores on a simulated flash device — and answers BFS /
+// SSSP / CC queries over HTTP (see internal/server).
+//
+// Each -graph flag loads one store. The spec is name=path[,sem[,profile]]:
+//
+//	serve -listen :8080 -graph rmat16=a16.asg
+//	serve -graph small=a14.asg -graph big=a22.asg,sem,FusionIO
+//
+// Query it with:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/graphs
+//	curl -d '{"graph":"rmat16","kernel":"bfs","source":0}' localhost:8080/v1/query
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sem"
+	"repro/internal/server"
+	"repro/internal/ssd"
+)
+
+// graphSpec is one parsed -graph flag: name=path[,sem[,profile]].
+type graphSpec struct {
+	name    string
+	path    string
+	sem     bool
+	profile string
+}
+
+func parseSpec(arg string) (graphSpec, error) {
+	var s graphSpec
+	name, rest, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || rest == "" {
+		return s, fmt.Errorf("graph spec %q: want name=path[,sem[,profile]]", arg)
+	}
+	s.name = name
+	parts := strings.Split(rest, ",")
+	s.path = parts[0]
+	s.profile = "FusionIO"
+	switch len(parts) {
+	case 1:
+	case 2, 3:
+		if parts[1] != "sem" {
+			return s, fmt.Errorf("graph spec %q: unknown option %q (want \"sem\")", arg, parts[1])
+		}
+		s.sem = true
+		if len(parts) == 3 {
+			s.profile = parts[2]
+		}
+	default:
+		return s, fmt.Errorf("graph spec %q: too many options", arg)
+	}
+	if _, err := os.Stat(s.path); err != nil {
+		return s, fmt.Errorf("graph %q: %w", s.name, err)
+	}
+	if s.sem {
+		if _, err := ssd.ProfileByName(s.profile); err != nil {
+			return s, fmt.Errorf("graph %q: %w", s.name, err)
+		}
+	}
+	return s, nil
+}
+
+// load opens one graph file as a server.Graph, either decoded fully into an
+// in-memory CSR or mounted semi-externally behind a block-cached simulated
+// flash device.
+func load(spec graphSpec, prefetch, prefetchGap int) (server.Graph, error) {
+	g := server.Graph{Name: spec.name}
+	f, err := os.Open(spec.path)
+	if err != nil {
+		return g, err
+	}
+	// The backing mmap-reads the file for the process lifetime; nothing to
+	// close eagerly here.
+	backing, err := ssd.NewFileBacking(f)
+	if err != nil {
+		f.Close()
+		return g, err
+	}
+	if !spec.sem {
+		im, err := sem.LoadCSR[uint32](backing)
+		if err != nil {
+			return g, err
+		}
+		g.Adj, g.Storage = im, "im"
+		return g, nil
+	}
+	p, err := ssd.ProfileByName(spec.profile)
+	if err != nil {
+		return g, err
+	}
+	dev := ssd.New(p, backing)
+	cache, err := sem.NewCachedStoreRA(dev, 4096, backing.Size()/2, 8)
+	if err != nil {
+		return g, err
+	}
+	sg, err := sem.Open[uint32](cache)
+	if err != nil {
+		return g, err
+	}
+	if prefetch > 1 {
+		sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
+	}
+	g.Adj, g.Storage, g.Device, g.BlockCache = sg, "sem", dev, cache
+	return g, nil
+}
+
+func main() {
+	var specs []graphSpec
+	var (
+		listen       = flag.String("listen", ":8080", "address to serve HTTP on")
+		concurrency  = flag.Int("concurrency", 4, "max traversals running at once")
+		queue        = flag.Int("queue", 64, "max requests waiting for a traversal slot")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max wait for a traversal slot before 503")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query traversal deadline")
+		cacheEntries = flag.Int("cache", 64, "result-cache capacity in snapshots (negative disables)")
+		workers      = flag.Int("workers", 0, "engine workers per traversal (0 = default)")
+		semisort     = flag.Bool("semisort", true, "secondary vertex-id sort key (SEM locality)")
+		batch        = flag.Int("batch", 0, "engine mailbox batch size (0 = default)")
+		prefetch     = flag.Int("prefetch", 64, "SEM pop-window prefetch size (0 = off)")
+		prefgap      = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap coalesced into one prefetch read")
+	)
+	flag.Func("graph", "graph to serve, as name=path[,sem[,profile]] (repeatable, required)", func(arg string) error {
+		s, err := parseSpec(arg)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, s)
+		return nil
+	})
+	flag.Parse()
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "serve: at least one -graph name=path is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := server.New(server.Config{
+		MaxConcurrent: *concurrency,
+		MaxQueue:      *queue,
+		QueueTimeout:  *queueTimeout,
+		QueryTimeout:  *queryTimeout,
+		CacheEntries:  *cacheEntries,
+		Engine:        core.Config{Workers: *workers, SemiSort: *semisort, Batch: *batch, Prefetch: *prefetch},
+	})
+	for _, spec := range specs {
+		g, err := load(spec, *prefetch, *prefgap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.AddGraph(g); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("loaded %s (%s) from %s", spec.name, g.Storage, spec.path)
+	}
+
+	log.Printf("serving %d graph(s) on %s", len(specs), *listen)
+	if err := http.ListenAndServe(*listen, s.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+}

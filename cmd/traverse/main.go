@@ -45,15 +45,57 @@ func main() {
 		check    = flag.Bool("check", false, "verify async results against the serial baseline")
 	)
 	flag.Parse()
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "traverse: -graph is required")
-		flag.Usage()
+	if err := validate(*path, *algo, *engine, *workers, *ranks, *semMode, *profile); err != nil {
+		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
 		os.Exit(2)
 	}
 	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *nocache, *profile, *semisort, *batch, *prefetch, *prefgap, *check); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// engines maps each algorithm to the engines that implement it — the same
+// pairs the run switch dispatches on, checked before any file is opened so
+// bad invocations fail in microseconds with one line on stderr.
+var engines = map[string][]string{
+	"bfs":  {"async", "lockfree", "serial", "levelsync", "bsp"},
+	"sssp": {"async", "lockfree", "serial"},
+	"cc":   {"async", "lockfree", "serial", "levelsync", "bsp"},
+}
+
+// validate rejects bad flag combinations up front: unknown algorithm or
+// engine, missing graph file, and non-positive parallelism.
+func validate(path, algo, engine string, workers, ranks int, semMode bool, profile string) error {
+	if path == "" {
+		return fmt.Errorf("-graph is required (a file produced by gengraph)")
+	}
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("-graph: %w", err)
+	}
+	supported, ok := engines[algo]
+	if !ok {
+		return fmt.Errorf("unknown -algo %q (want bfs, sssp, or cc)", algo)
+	}
+	found := false
+	for _, e := range supported {
+		found = found || e == engine
+	}
+	if !found {
+		return fmt.Errorf("-algo %s does not support -engine %q (want one of %v)", algo, engine, supported)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", workers)
+	}
+	if engine == "bsp" && ranks <= 0 {
+		return fmt.Errorf("-ranks must be positive, got %d", ranks)
+	}
+	if semMode {
+		if _, err := ssd.ProfileByName(profile); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode, nocache bool, profile string, semisort bool, batch, prefetch, prefetchGap int, check bool) error {

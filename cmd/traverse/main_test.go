@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	g := filepath.Join(t.TempDir(), "g.asg")
+	if err := os.WriteFile(g, []byte("stub"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		path    string
+		algo    string
+		engine  string
+		workers int
+		ranks   int
+		sem     bool
+		profile string
+		ok      bool
+	}{
+		{"valid async bfs", g, "bfs", "async", 512, 16, false, "", true},
+		{"valid bsp cc", g, "cc", "bsp", 8, 4, false, "", true},
+		{"valid sem profile", g, "sssp", "async", 8, 16, true, "Intel", true},
+		{"missing path", "", "bfs", "async", 8, 16, false, "", false},
+		{"nonexistent file", g + ".nope", "bfs", "async", 8, 16, false, "", false},
+		{"unknown algo", g, "pagerank", "async", 8, 16, false, "", false},
+		{"unknown engine", g, "bfs", "quantum", 8, 16, false, "", false},
+		{"sssp has no bsp engine", g, "sssp", "bsp", 8, 16, false, "", false},
+		{"negative workers", g, "bfs", "async", -1, 16, false, "", false},
+		{"zero workers", g, "bfs", "async", 0, 16, false, "", false},
+		{"bsp needs ranks", g, "bfs", "bsp", 8, 0, false, "", false},
+		{"unknown sem profile", g, "bfs", "async", 8, 16, true, "FloppyDisk", false},
+	}
+	for _, tc := range cases {
+		err := validate(tc.path, tc.algo, tc.engine, tc.workers, tc.ranks, tc.sem, tc.profile)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// slowAdjacency delays every adjacency read, standing in for a semi-external
+// store: it keeps workers busy long enough for a deadline to fire
+// mid-traversal.
+type slowAdjacency struct {
+	*graph.CSR[uint32]
+	delay time.Duration
+}
+
+func (s *slowAdjacency) Neighbors(v uint32, scratch *graph.Scratch[uint32]) ([]uint32, []graph.Weight, error) {
+	time.Sleep(s.delay)
+	return s.CSR.Neighbors(v, scratch)
+}
+
+// TestContextCancelMidTraversal fires a deadline while workers are busy on a
+// traversal that would otherwise run for seconds, and asserts that Wait
+// returns the cancellation error promptly and that no worker goroutines leak.
+func TestContextCancelMidTraversal(t *testing.T) {
+	// A chain serializes the traversal: one visit at a time, each delayed,
+	// so the full run would take ~4096 * delay >> the deadline.
+	chain, err := gen.Chain[uint32](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &slowAdjacency{CSR: chain, delay: time.Millisecond}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err = BFS[uint32](g, 0, Config{Workers: 32, Context: ctx})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The full traversal takes ~4s; cancellation must land far sooner. The
+	// bound is loose (one visit's delay plus scheduling) to stay robust on
+	// slow CI hosts.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+
+	// All worker goroutines and the context watcher must exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAbortStopsSelfSustainingTraversal aborts an engine whose visitors push
+// forever; without Abort the traversal never terminates.
+func TestAbortStopsSelfSustainingTraversal(t *testing.T) {
+	sentinel := errors.New("client went away")
+	started := make(chan struct{})
+	var once sync.Once
+	e := New[uint32](Config{Workers: 4}, func(ctx *Ctx[uint32], it pq.Item) error {
+		once.Do(func() { close(started) })
+		ctx.Push(it.Pri+1, uint32((it.V+1)%1024), 0)
+		return nil
+	})
+	e.Start()
+	e.Push(0, 0, 0)
+	<-started
+	e.Abort(sentinel)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Wait()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want %v", err, sentinel)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait did not return after Abort")
+	}
+}
+
+// TestContextPreCanceled verifies a traversal started under an already-dead
+// context aborts without visiting (beyond at most the first pops in flight).
+func TestContextPreCanceled(t *testing.T) {
+	g, err := gen.RMAT[uint32](8, 8, gen.RMATA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SSSP[uint32](g, 0, Config{Workers: 8, Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContextUncancelledIsNoop pins that a live context changes nothing: the
+// traversal completes and matches the no-context run.
+func TestContextUncancelledIsNoop(t *testing.T) {
+	g, err := gen.RMAT[uint32](10, 8, gen.RMATA, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := BFS[uint32](g, 0, Config{Workers: 16, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BFS[uint32](g, 0, Config{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, got.Level[v], want.Level[v])
+		}
+	}
+}

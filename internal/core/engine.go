@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -81,6 +82,13 @@ type Config struct {
 	// as CoarseShift, and exclusive vertex ownership is untouched — every
 	// popped visitor still belongs to the popping worker.
 	Prefetch int
+	// Context, when non-nil, cancels the traversal: the moment the context is
+	// done the engine aborts with ctx.Err(), workers stop popping, blocked
+	// workers are woken, and Wait returns the cancellation error. A serving
+	// layer uses this to enforce per-query deadlines and to stop all workers
+	// promptly when a client disconnects. Nil (the default) disables
+	// cancellation; batch runs behave exactly as before.
+	Context context.Context
 }
 
 // QueueKind selects the per-worker visitor queue implementation.
@@ -210,6 +218,15 @@ type Engine[V graph.Vertex] struct {
 	queues []*workQueue
 	wg     sync.WaitGroup
 
+	// res holds the recyclable per-worker state (queues, outboxes, scratch).
+	// pool, when non-nil, receives res back after Wait so the next traversal
+	// reuses it instead of reallocating (see EnginePool).
+	res  *engineRes[V]
+	pool *EnginePool[V]
+	// stop is closed by Wait once the workers have exited; it retires the
+	// Config.Context watcher goroutine so cancellation support never leaks.
+	stop chan struct{}
+
 	// term detects termination: it counts queued-but-unfinished visitors
 	// (including visitors still buffered in outboxes) plus one init token
 	// held until Wait is called, so the count cannot reach zero while the
@@ -235,14 +252,22 @@ type Engine[V graph.Vertex] struct {
 // New creates an engine that will execute visit for every queued visitor.
 func New[V graph.Vertex](cfg Config, visit VisitFunc[V]) *Engine[V] {
 	cfg.normalize()
-	e := &Engine[V]{cfg: cfg, visit: visit, term: NewTerminator()}
-	e.workerVisits = make([]uint64, cfg.Workers)
-	e.queues = make([]*workQueue, cfg.Workers)
-	for i := range e.queues {
-		q := &workQueue{heap: cfg.newQueue()}
-		q.cond.L = &q.mu
-		e.queues[i] = q
+	return newEngine(cfg, visit, newEngineRes[V](cfg), nil)
+}
+
+// newEngine wires an engine onto a (fresh or recycled) resource set. cfg must
+// already be normalized and must match the configuration res was built with.
+func newEngine[V graph.Vertex](cfg Config, visit VisitFunc[V], res *engineRes[V], pool *EnginePool[V]) *Engine[V] {
+	e := &Engine[V]{
+		cfg:   cfg,
+		visit: visit,
+		term:  NewTerminator(),
+		res:   res,
+		pool:  pool,
+		stop:  make(chan struct{}),
 	}
+	e.workerVisits = make([]uint64, cfg.Workers)
+	e.queues = res.queues
 	return e
 }
 
@@ -258,6 +283,15 @@ func (e *Engine[V]) SetPrefetch(fn func(window []pq.Item, scratch *graph.Scratch
 // Start launches the worker goroutines. It must be called exactly once,
 // before Wait.
 func (e *Engine[V]) Start() {
+	if ctx := e.cfg.Context; ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.Abort(ctx.Err())
+			case <-e.stop:
+			}
+		}()
+	}
 	e.wg.Add(len(e.queues))
 	for i := range e.queues {
 		go e.worker(i)
@@ -328,6 +362,7 @@ func (e *Engine[V]) Wait() (Stats, error) {
 		e.finish()
 	}
 	e.wg.Wait()
+	close(e.stop)
 	st := Stats{
 		Visits:          e.visits.Load(),
 		Pushes:          e.pushes.Load(),
@@ -339,6 +374,11 @@ func (e *Engine[V]) Wait() (Stats, error) {
 		if m := q.heap.MaxLen(); m > st.MaxQueue {
 			st.MaxQueue = m
 		}
+	}
+	if e.pool != nil {
+		res := e.res
+		e.res, e.queues = nil, nil // single-shot: no use after release
+		e.pool.release(res)
 	}
 	return st, e.err
 }
@@ -360,18 +400,36 @@ func (e *Engine[V]) fail(err error) {
 	e.finish()
 }
 
+// Abort cancels the traversal from outside a visitor: workers observe the
+// abort flag in their pop loops and exit without draining remaining work,
+// blocked workers are woken, and Wait returns err (unless a visitor error was
+// recorded first). Safe for concurrent use; the first cause wins. Used by
+// Config.Context cancellation and by serving layers tearing down a query
+// whose client went away.
+func (e *Engine[V]) Abort(err error) {
+	e.fail(err)
+}
+
 func (e *Engine[V]) worker(id int) {
 	defer e.wg.Done()
-	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: &graph.Scratch[V]{}}
-	if e.cfg.Batch > 1 {
-		ctx.out = newOutbox(e.queues, e.cfg.Batch)
+	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: e.res.scratch[id]}
+	if e.res.outs != nil {
+		ctx.out = e.res.outs[id]
 	}
+	defer func() {
+		e.visits.Add(ctx.visits)
+		e.pushes.Add(ctx.pushes)
+		e.workerVisits[id] = ctx.visits
+	}()
 	if e.cfg.Prefetch > 1 && e.prefetch != nil {
 		e.workerWindowed(id, ctx)
 		return
 	}
 	q := e.queues[id]
-	for {
+	// The abort check at the loop top is the engine's cancellation point: an
+	// aborted worker exits without draining its queue, so a deadline fires in
+	// at most one visit's time regardless of how much work is still queued.
+	for !e.aborted.Load() {
 		it, ok := q.tryPop()
 		if !ok {
 			// Drain trigger: deliver every buffered visitor before blocking,
@@ -381,17 +439,12 @@ func (e *Engine[V]) worker(id int) {
 			}
 			it, ok = q.pop()
 			if !ok {
-				e.visits.Add(ctx.visits)
-				e.pushes.Add(ctx.pushes)
-				e.workerVisits[id] = ctx.visits
 				return
 			}
 		}
-		if !e.aborted.Load() {
-			ctx.visits++
-			if err := e.visit(ctx, it); err != nil {
-				e.fail(err)
-			}
+		ctx.visits++
+		if err := e.visit(ctx, it); err != nil {
+			e.fail(err)
 		}
 		if e.term.Finish() {
 			e.finish()
@@ -409,7 +462,7 @@ func (e *Engine[V]) worker(id int) {
 func (e *Engine[V]) workerWindowed(id int, ctx *Ctx[V]) {
 	q := e.queues[id]
 	window := make([]pq.Item, 0, e.cfg.Prefetch)
-	for {
+	for !e.aborted.Load() {
 		window = q.tryPopBatch(window[:0], e.cfg.Prefetch)
 		if len(window) == 0 {
 			// Drain trigger, as in the one-at-a-time loop: deliver every
@@ -419,9 +472,6 @@ func (e *Engine[V]) workerWindowed(id int, ctx *Ctx[V]) {
 			}
 			it, ok := q.pop()
 			if !ok {
-				e.visits.Add(ctx.visits)
-				e.pushes.Add(ctx.pushes)
-				e.workerVisits[id] = ctx.visits
 				return
 			}
 			window = append(window, it)

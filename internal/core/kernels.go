@@ -43,12 +43,13 @@ func ccStep(pri uint64, _ graph.Weight) uint64   { return pri }
 func runKernel[V graph.Vertex](
 	g graph.Adjacency[V],
 	cfg Config,
+	pool *EnginePool[V],
 	labels []graph.Dist,
 	parent []V,
 	step stepFunc,
 	seed func(e *Engine[V]),
 ) (Stats, error) {
-	e := New[V](cfg, func(ctx *Ctx[V], it pq.Item) error {
+	visit := func(ctx *Ctx[V], it pq.Item) error {
 		v := V(it.V)
 		if it.Pri >= labels[v] {
 			return nil // stale visitor: current label is already as good
@@ -73,7 +74,13 @@ func runKernel[V graph.Vertex](
 			}
 		}
 		return nil
-	})
+	}
+	var e *Engine[V]
+	if pool != nil {
+		e = newEngine(cfg, visit, pool.acquire(), pool)
+	} else {
+		e = New[V](cfg, visit)
+	}
 	if cfg.Prefetch > 1 {
 		if ba, ok := g.(graph.BatchAdjacency[V]); ok {
 			e.SetPrefetch(func(window []pq.Item, scratch *graph.Scratch[V]) {
@@ -115,6 +122,10 @@ func initLabels[V graph.Vertex](labels []graph.Dist, parent []V) {
 // every edge weight treated as 1 (§III-B: "BFS = SSSP with all edge weights
 // equal to 1"), so the same code path serves weighted graph storage.
 func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V], error) {
+	return bfsKernel(g, src, cfg, nil)
+}
+
+func bfsKernel[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config, pool *EnginePool[V]) (*BFSResult[V], error) {
 	n := g.NumVertices()
 	if uint64(src) >= n {
 		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
@@ -124,7 +135,7 @@ func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V]
 		Parent: make([]V, n),
 	}
 	initLabels(res.Level, res.Parent)
-	st, err := runKernel(g, cfg, res.Level, res.Parent, bfsStep, func(e *Engine[V]) {
+	st, err := runKernel(g, cfg, pool, res.Level, res.Parent, bfsStep, func(e *Engine[V]) {
 		e.Push(0, src, uint64(src))
 	})
 	res.Stats = st
@@ -142,6 +153,10 @@ func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V]
 // Dijkstra's. Only non-negative weights are supported (uint32 enforces this
 // by construction).
 func SSSP[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*SSSPResult[V], error) {
+	return ssspKernel(g, src, cfg, nil)
+}
+
+func ssspKernel[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config, pool *EnginePool[V]) (*SSSPResult[V], error) {
 	n := g.NumVertices()
 	if uint64(src) >= n {
 		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
@@ -151,7 +166,7 @@ func SSSP[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*SSSPResult[
 		Parent: make([]V, n),
 	}
 	initLabels(res.Dist, res.Parent)
-	st, err := runKernel(g, cfg, res.Dist, res.Parent, ssspStep, func(e *Engine[V]) {
+	st, err := runKernel(g, cfg, pool, res.Dist, res.Parent, ssspStep, func(e *Engine[V]) {
 		e.Push(0, src, uint64(src)) // source visitor with path length 0, parent = self
 	})
 	res.Stats = st
@@ -168,10 +183,14 @@ func SSSP[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*SSSPResult[
 // traversals" (§III-C). Prioritizing smaller candidate ids prunes doomed
 // traversals early.
 func CC[V graph.Vertex](g graph.Adjacency[V], cfg Config) (*CCResult[V], error) {
+	return ccKernel(g, cfg, nil)
+}
+
+func ccKernel[V graph.Vertex](g graph.Adjacency[V], cfg Config, pool *EnginePool[V]) (*CCResult[V], error) {
 	n := g.NumVertices()
 	labels := make([]graph.Dist, n)
 	initLabels[V](labels, nil) // the paper's "initialized to infinity"
-	st, err := runKernel(g, cfg, labels, nil, ccStep, func(e *Engine[V]) {
+	st, err := runKernel(g, cfg, pool, labels, nil, ccStep, func(e *Engine[V]) {
 		e.ParallelInit(n, func(i uint64) (uint64, V, uint64) {
 			return i, V(i), 0 // each vertex starts as its own component id
 		})

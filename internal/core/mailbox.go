@@ -137,3 +137,13 @@ func (o *outbox) flush() {
 		}
 	}
 }
+
+// reset discards buffered visitors without delivering them, keeping the
+// per-owner buffers for reuse. Called between traversals on recycled
+// resources: an aborted worker may have exited with undelivered visitors,
+// which must not leak into the next run.
+func (o *outbox) reset() {
+	for owner := range o.bufs {
+		o.bufs[owner] = o.bufs[owner][:0]
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file is the engine's reuse layer, built for long-lived serving
+// processes (internal/server): a single traversal allocates per-worker
+// visitor queues, mailbox outboxes, and adjacency scratch, which for the
+// repository defaults (hundreds of workers, KiB-scale scratch blocks) is the
+// dominant steady-state allocation of a query. EnginePool recycles those
+// resources across traversals so a query service reaches a zero-allocation
+// steady state on everything except the result arrays themselves.
+
+// engineRes is the recyclable per-worker state of one engine run: the
+// visitor queues (mailboxes), the batching outboxes, and the adjacency
+// scratch buffers. A resource set is built for one normalized Config and may
+// only be reused under the same Workers/Queue/Batch settings.
+type engineRes[V graph.Vertex] struct {
+	queues  []*workQueue
+	scratch []*graph.Scratch[V]
+	outs    []*outbox // nil when batching is disabled (Batch == 1)
+}
+
+func newEngineRes[V graph.Vertex](cfg Config) *engineRes[V] {
+	r := &engineRes[V]{
+		queues:  make([]*workQueue, cfg.Workers),
+		scratch: make([]*graph.Scratch[V], cfg.Workers),
+	}
+	for i := range r.queues {
+		q := &workQueue{heap: cfg.newQueue()}
+		q.cond.L = &q.mu
+		r.queues[i] = q
+		r.scratch[i] = &graph.Scratch[V]{}
+	}
+	if cfg.Batch > 1 {
+		r.outs = make([]*outbox, cfg.Workers)
+		for i := range r.outs {
+			r.outs[i] = newOutbox(r.queues, cfg.Batch)
+		}
+	}
+	return r
+}
+
+// reset returns the resource set to its pristine state: outbox buffers are
+// discarded first (an aborted worker can exit holding undelivered visitors),
+// then the queues are emptied and reopened. Scratch keeps its decode buffers
+// — reusing them is the point — but drops any storage-backend prefetch
+// session, which is tied to the graph of the previous run.
+func (r *engineRes[V]) reset() {
+	for _, o := range r.outs {
+		o.reset()
+	}
+	for _, q := range r.queues {
+		q.mu.Lock()
+		q.heap.Reset()
+		q.done = false
+		q.mu.Unlock()
+	}
+	for _, s := range r.scratch {
+		s.Prefetch = nil
+	}
+}
+
+// EnginePool runs traversals on recycled engine resources. It is safe for
+// concurrent use: each traversal acquires its own resource set (allocating
+// one only when the free list is empty), and Wait returns the set after
+// resetting it. The pool is unbounded — a serving layer bounds it implicitly
+// by bounding concurrent traversals (admission control).
+//
+// All traversals run under the pool's Config; the per-query knob is the
+// context passed to BFS/SSSP/CC, which cancels that traversal alone.
+type EnginePool[V graph.Vertex] struct {
+	cfg  Config
+	mu   sync.Mutex
+	free []*engineRes[V]
+
+	acquires atomic.Uint64
+	reuses   atomic.Uint64
+}
+
+// NewEnginePool creates a pool whose traversals all run under cfg
+// (normalized once, here). cfg.Context is ignored; contexts are per-query.
+func NewEnginePool[V graph.Vertex](cfg Config) *EnginePool[V] {
+	cfg.normalize()
+	cfg.Context = nil
+	return &EnginePool[V]{cfg: cfg}
+}
+
+// Config reports the pool's normalized engine configuration.
+func (p *EnginePool[V]) Config() Config { return p.cfg }
+
+// Idle reports the number of resource sets currently on the free list.
+func (p *EnginePool[V]) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Reuses reports how many acquisitions were served from the free list versus
+// total acquisitions, the pool's effectiveness counters.
+func (p *EnginePool[V]) Reuses() (reused, total uint64) {
+	return p.reuses.Load(), p.acquires.Load()
+}
+
+func (p *EnginePool[V]) acquire() *engineRes[V] {
+	p.acquires.Add(1)
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return r
+	}
+	p.mu.Unlock()
+	return newEngineRes[V](p.cfg)
+}
+
+func (p *EnginePool[V]) release(r *engineRes[V]) {
+	r.reset()
+	p.mu.Lock()
+	p.free = append(p.free, r)
+	p.mu.Unlock()
+}
+
+// queryCfg is the pool configuration specialized to one query's context.
+func (p *EnginePool[V]) queryCfg(ctx context.Context) Config {
+	cfg := p.cfg
+	cfg.Context = ctx
+	return cfg
+}
+
+// BFS runs a breadth-first search on recycled resources; see the package
+// function BFS. ctx cancels the traversal (Config.Context).
+func (p *EnginePool[V]) BFS(ctx context.Context, g graph.Adjacency[V], src V) (*BFSResult[V], error) {
+	return bfsKernel(g, src, p.queryCfg(ctx), p)
+}
+
+// SSSP runs single-source shortest paths on recycled resources; see the
+// package function SSSP. ctx cancels the traversal (Config.Context).
+func (p *EnginePool[V]) SSSP(ctx context.Context, g graph.Adjacency[V], src V) (*SSSPResult[V], error) {
+	return ssspKernel(g, src, p.queryCfg(ctx), p)
+}
+
+// CC computes connected components on recycled resources; see the package
+// function CC. ctx cancels the traversal (Config.Context).
+func (p *EnginePool[V]) CC(ctx context.Context, g graph.Adjacency[V]) (*CCResult[V], error) {
+	return ccKernel(g, p.queryCfg(ctx), p)
+}

@@ -21,6 +21,10 @@ type Queue interface {
 	Len() int
 	// MaxLen reports the high-water mark of Len.
 	MaxLen() int
+	// Reset empties the queue and clears the high-water mark, retaining
+	// backing storage so a recycled queue (core.EnginePool) starts its next
+	// traversal without reallocating.
+	Reset()
 }
 
 var (
@@ -52,6 +56,14 @@ func NewBucket() *BucketQueue {
 
 // Len reports the number of queued items.
 func (b *BucketQueue) Len() int { return b.length }
+
+// Reset implements Queue, dropping all buckets and the high-water mark.
+func (b *BucketQueue) Reset() {
+	clear(b.buckets)
+	b.keys.Reset()
+	b.length = 0
+	b.maxLen = 0
+}
 
 // MaxLen reports the high-water mark of the queue size.
 func (b *BucketQueue) MaxLen() int { return b.maxLen }

@@ -44,6 +44,13 @@ func (h *Heap) Len() int { return len(h.items) }
 // report queue memory pressure.
 func (h *Heap) MaxLen() int { return h.maxLen }
 
+// Reset empties the heap and clears the high-water mark, keeping the backing
+// array for reuse across traversals.
+func (h *Heap) Reset() {
+	h.items = h.items[:0]
+	h.maxLen = 0
+}
+
 func (h *Heap) less(a, b Item) bool {
 	if pa, pb := a.Pri>>h.priShift, b.Pri>>h.priShift; pa != pb {
 		return pa < pb

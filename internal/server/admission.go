@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: the SEM device services a bounded number of concurrent
+// operations (ssd.Profile.Channels) and every traversal multiplies into
+// hundreds of worker goroutines, so an unbounded query intake would
+// oversubscribe the device and collapse every query's latency at once.
+// admission caps running traversals at MaxConcurrent, parks up to MaxQueue
+// excess requests on a wait list with a timeout, and sheds everything beyond
+// that immediately — the standard load-shedding shape: bounded concurrency,
+// bounded queue, bounded wait.
+
+// ErrOverloaded reports that the admission queue is full; the handler maps it
+// to 429 Too Many Requests.
+var ErrOverloaded = errors.New("server: admission queue full")
+
+// ErrQueueTimeout reports that a queued request waited QueueTimeout without a
+// traversal slot freeing up; the handler maps it to 503 Service Unavailable.
+var ErrQueueTimeout = errors.New("server: timed out waiting for a traversal slot")
+
+type admission struct {
+	slots        chan struct{} // capacity = MaxConcurrent
+	maxQueue     int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	rejected atomic.Uint64
+	timedOut atomic.Uint64
+}
+
+func newAdmission(maxConcurrent, maxQueue int, queueTimeout time.Duration) *admission {
+	return &admission{
+		slots:        make(chan struct{}, maxConcurrent),
+		maxQueue:     int64(maxQueue),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// acquire claims a traversal slot, waiting in the bounded queue if none is
+// free. It fails fast with ErrOverloaded when the queue is full, with
+// ErrQueueTimeout after queueTimeout, and with ctx.Err() when the caller's
+// request dies while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.inFlight.Add(1)
+		return nil
+	case <-timer.C:
+		a.timedOut.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() {
+	<-a.slots
+	a.inFlight.Add(-1)
+}
+
+// InFlight reports traversals currently running.
+func (a *admission) InFlight() int64 { return a.inFlight.Load() }
+
+// QueueDepth reports requests currently parked waiting for a slot.
+func (a *admission) QueueDepth() int64 { return a.queued.Load() }

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// Observability is expvar-shaped (the issue's stdlib-only constraint): the
+// server assembles a private expvar.Map — not published to the global
+// registry, so many servers can coexist in one process (tests, embedding) —
+// and /metrics renders it as JSON. Latency is a fixed-bound log-spaced
+// histogram; p50/p99 are read as bucket upper bounds, which is the standard
+// histogram-quantile estimate and needs no per-request allocation.
+
+// latencyBounds are the histogram bucket upper bounds. Log-spaced from 500µs
+// to 30s: queries span in-memory sub-millisecond BFS to multi-second SEM
+// traversals on the slowest simulated device.
+var latencyBounds = []time.Duration{
+	500 * time.Microsecond,
+	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+	30 * time.Second,
+}
+
+// histogram is a lock-free fixed-bucket latency histogram.
+type histogram struct {
+	counts []atomic.Uint64 // len(latencyBounds)+1; last bucket = overflow
+	sumUs  atomic.Uint64
+	n      atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumUs.Add(uint64(d.Microseconds()))
+	h.n.Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket where the cumulative count crosses q*n. Zero when nothing was
+// observed; the overflow bucket reports the largest bound.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i >= len(latencyBounds) {
+				return latencyBounds[len(latencyBounds)-1]
+			}
+			return latencyBounds[i]
+		}
+	}
+	return latencyBounds[len(latencyBounds)-1]
+}
+
+// mean reports the average observed latency.
+func (h *histogram) mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUs.Load()/n) * time.Microsecond
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// buildVars assembles the server's /metrics document. Every leaf is an
+// expvar.Func closure over live counters, so each scrape sees a fresh
+// snapshot with no bookkeeping on the query path beyond the counters
+// themselves.
+func (s *Server) buildVars() *expvar.Map {
+	m := new(expvar.Map).Init()
+	m.Set("queries_total", expvar.Func(func() any { return s.queriesTotal.Load() }))
+	m.Set("queries_in_flight", expvar.Func(func() any { return s.admit.InFlight() }))
+	m.Set("queue_depth", expvar.Func(func() any { return s.admit.QueueDepth() }))
+	m.Set("queries_rejected", expvar.Func(func() any { return s.admit.rejected.Load() }))
+	m.Set("queries_queue_timeout", expvar.Func(func() any { return s.admit.timedOut.Load() }))
+	m.Set("queries_deadline_exceeded", expvar.Func(func() any { return s.queriesDeadline.Load() }))
+	m.Set("queries_canceled", expvar.Func(func() any { return s.queriesCanceled.Load() }))
+	m.Set("queries_failed", expvar.Func(func() any { return s.queriesFailed.Load() }))
+	m.Set("latency", expvar.Func(func() any {
+		return map[string]any{
+			"count":   s.hist.n.Load(),
+			"mean_ms": ms(s.hist.mean()),
+			"p50_ms":  ms(s.hist.quantile(0.50)),
+			"p99_ms":  ms(s.hist.quantile(0.99)),
+		}
+	}))
+	m.Set("cache", expvar.Func(func() any {
+		if s.cache == nil {
+			return map[string]any{"enabled": false}
+		}
+		hits, misses, evictions := s.cache.Counters()
+		return map[string]any{
+			"enabled":   true,
+			"entries":   s.cache.Len(),
+			"hits":      hits,
+			"misses":    misses,
+			"evictions": evictions,
+		}
+	}))
+	m.Set("engine_pool", expvar.Func(func() any {
+		reused, total := s.pool.Reuses()
+		return map[string]any{
+			"idle":     s.pool.Idle(),
+			"reused":   reused,
+			"acquired": total,
+		}
+	}))
+	m.Set("graphs", expvar.Func(func() any {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		out := make(map[string]any, len(s.graphs))
+		for name, g := range s.graphs {
+			gv := map[string]any{"storage": g.Storage}
+			if g.Device != nil {
+				st := g.Device.Stats()
+				gv["device"] = map[string]any{
+					"reads":          st.Reads,
+					"writes":         st.Writes,
+					"bytes_read":     st.BytesRead,
+					"bytes_written":  st.BytesWritten,
+					"max_read_bytes": st.MaxReadBytes,
+				}
+			}
+			if g.BlockCache != nil {
+				hits, misses := g.BlockCache.Stats()
+				gv["block_cache"] = map[string]any{"hits": hits, "misses": misses}
+			}
+			out[name] = gv
+		}
+		return out
+	}))
+	return m
+}

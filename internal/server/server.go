@@ -1,0 +1,477 @@
+// Package server is the long-lived traversal query service layered on the
+// asynchronous engine: one process loads one or more graphs — in-memory CSRs
+// or semi-external stores on a simulated flash device — as shared read-only
+// stores and answers BFS / SSSP / CC queries over HTTP.
+//
+// The serving pipeline, request by request:
+//
+//	decode/validate → result-cache lookup → admission control →
+//	engine-pool traversal under a per-query context → snapshot →
+//	cache fill → render
+//
+// Three mechanisms make it safe to put the batch engine behind traffic:
+//
+//   - cancellation (core.Config.Context): every query runs under a deadline
+//     derived from Config.QueryTimeout and the HTTP request context, so a
+//     slow traversal or a disconnected client stops all engine workers
+//     promptly instead of leaking goroutines;
+//   - admission control (admission.go): concurrent traversals are capped and
+//     excess requests queue briefly, bounding pressure on the SEM device's
+//     channel pool (429 when the queue overflows, 503 when the wait times
+//     out);
+//   - the engine pool (core.EnginePool): per-worker queues, outboxes, and
+//     scratch recycle across queries, so steady-state serving allocates only
+//     result arrays.
+//
+// Everything is stdlib-only: net/http, encoding/json, expvar.
+//
+// Endpoints:
+//
+//	POST /v1/query   {"graph":"g","kernel":"sssp","source":1234,"targets":[5,6]}
+//	GET  /v1/graphs  inventory of loaded graphs
+//	GET  /healthz    liveness probe
+//	GET  /metrics    expvar JSON: in-flight, queue depth, latency p50/p99,
+//	                 cache and device counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sem"
+	"repro/internal/ssd"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent caps traversals running at once. Each traversal spawns
+	// Engine.Workers goroutines and, on SEM stores, competes for the
+	// device's bounded channel pool. Default 4.
+	MaxConcurrent int
+	// MaxQueue caps requests waiting for a traversal slot; the request
+	// beyond it is rejected immediately with 429. Default 64.
+	MaxQueue int
+	// QueueTimeout bounds how long a request waits in the admission queue
+	// before 503. Default 2s.
+	QueueTimeout time.Duration
+	// QueryTimeout is the per-query traversal deadline; a request may lower
+	// (never raise) it via timeout_ms. Default 30s.
+	QueryTimeout time.Duration
+	// CacheEntries is the result-cache capacity in snapshots; 0 selects the
+	// default 64, negative disables caching.
+	CacheEntries int
+	// Engine configures the traversal engine shared by all queries
+	// (workers, semi-sort, batching, SEM prefetch window). Context is
+	// ignored — the server installs a per-query context.
+	Engine core.Config
+}
+
+func (c *Config) normalize() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+}
+
+// Graph is one read-only store served by the Server. Adj must be safe for
+// concurrent readers — both back ends are: the in-memory CSR is immutable,
+// and the semi-external store's reads share only the device, block cache,
+// and prefetcher, each of which is concurrency-safe. Device and BlockCache
+// are optional observability hooks surfaced under /metrics.
+type Graph struct {
+	Name       string
+	Adj        graph.Adjacency[uint32]
+	Storage    string // "im" or "sem"; informational
+	Device     *ssd.Device
+	BlockCache *sem.CachedStore
+}
+
+func (g *Graph) weighted() bool {
+	if w, ok := g.Adj.(interface{ Weighted() bool }); ok {
+		return w.Weighted()
+	}
+	return false
+}
+
+func (g *Graph) numEdges() uint64 {
+	if m, ok := g.Adj.(interface{ NumEdges() uint64 }); ok {
+		return m.NumEdges()
+	}
+	return 0
+}
+
+// Server answers traversal queries over shared read-only graph stores.
+// Create with New, register stores with AddGraph, and mount Handler on an
+// http.Server. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	pool  *core.EnginePool[uint32]
+	admit *admission
+	cache *resultCache // nil when disabled
+	hist  *histogram
+
+	mu     sync.RWMutex
+	graphs map[string]*Graph
+
+	queriesTotal    atomic.Uint64
+	queriesFailed   atomic.Uint64
+	queriesCanceled atomic.Uint64
+	queriesDeadline atomic.Uint64
+
+	vars *expvar.Map
+	mux  *http.ServeMux
+}
+
+// New creates a Server with no graphs loaded.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:    cfg,
+		pool:   core.NewEnginePool[uint32](cfg.Engine),
+		admit:  newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		hist:   newHistogram(),
+		graphs: make(map[string]*Graph),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	s.vars = s.buildVars()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	return s
+}
+
+// AddGraph registers a store under g.Name. Graphs may be added while the
+// server is live; replacing or removing one is not supported (stores are
+// immutable and cached results never go stale).
+func (s *Server) AddGraph(g Graph) error {
+	if g.Name == "" {
+		return errors.New("server: graph name must be non-empty")
+	}
+	if g.Adj == nil {
+		return fmt.Errorf("server: graph %q has no adjacency store", g.Name)
+	}
+	if g.Storage == "" {
+		g.Storage = "im"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[g.Name]; dup {
+		return fmt.Errorf("server: graph %q already loaded", g.Name)
+	}
+	s.graphs[g.Name] = &g
+	return nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) graph(name string) *Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graphs[name]
+}
+
+// --- request/response shapes ---
+
+type queryRequest struct {
+	Graph  string `json:"graph"`
+	Kernel string `json:"kernel"` // bfs | sssp | cc
+	Source uint64 `json:"source"` // ignored for cc
+	// Targets selects vertices whose state is returned; empty returns a
+	// whole-traversal summary instead.
+	Targets []uint64 `json:"targets,omitempty"`
+	// TimeoutMs lowers the per-query deadline below Config.QueryTimeout.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this request (read and fill).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+type targetState struct {
+	Vertex  uint64  `json:"vertex"`
+	Reached bool    `json:"reached"`
+	Value   uint64  `json:"value"` // level (bfs), distance (sssp), component id (cc)
+	Parent  *uint64 `json:"parent,omitempty"`
+}
+
+type querySummary struct {
+	Vertices   uint64 `json:"vertices"`
+	Reached    uint64 `json:"reached"`
+	MaxValue   uint64 `json:"max_value"` // largest finite label
+	Components uint64 `json:"components,omitempty"`
+}
+
+type queryStats struct {
+	Visits          uint64 `json:"visits"`
+	Pushes          uint64 `json:"pushes"`
+	MaxQueue        int    `json:"max_queue"`
+	PeakOutstanding int64  `json:"peak_outstanding"`
+	Workers         int    `json:"workers"`
+}
+
+type queryResponse struct {
+	Graph     string        `json:"graph"`
+	Kernel    string        `json:"kernel"`
+	Source    uint64        `json:"source"`
+	Cached    bool          `json:"cached"`
+	ElapsedMs float64       `json:"elapsed_ms"` // traversal time of the (possibly cached) run
+	Stats     queryStats    `json:"stats"`
+	Targets   []targetState `json:"targets,omitempty"`
+	Summary   *querySummary `json:"summary,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type graphInfo struct {
+		Name     string `json:"name"`
+		Vertices uint64 `json:"vertices"`
+		Edges    uint64 `json:"edges"`
+		Weighted bool   `json:"weighted"`
+		Storage  string `json:"storage"`
+	}
+	s.mu.RLock()
+	infos := make([]graphInfo, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		infos = append(infos, graphInfo{
+			Name:     g.Name,
+			Vertices: g.Adj.NumVertices(),
+			Edges:    g.numEdges(),
+			Weighted: g.weighted(),
+			Storage:  g.Storage,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	g := s.graph(req.Graph)
+	if g == nil {
+		writeError(w, http.StatusNotFound, "unknown graph %q (see /v1/graphs)", req.Graph)
+		return
+	}
+	switch req.Kernel {
+	case "bfs", "sssp":
+		if req.Source >= g.Adj.NumVertices() {
+			writeError(w, http.StatusBadRequest, "source %d out of range for %d vertices", req.Source, g.Adj.NumVertices())
+			return
+		}
+	case "cc":
+		req.Source = 0 // cc has no source; normalize so the cache key is canonical
+	default:
+		writeError(w, http.StatusBadRequest, "unknown kernel %q (want bfs, sssp, or cc)", req.Kernel)
+		return
+	}
+	for _, t := range req.Targets {
+		if t >= g.Adj.NumVertices() {
+			writeError(w, http.StatusBadRequest, "target %d out of range for %d vertices", t, g.Adj.NumVertices())
+			return
+		}
+	}
+
+	s.queriesTotal.Add(1)
+	key := cacheKey{graph: req.Graph, kernel: req.Kernel, source: req.Source, weighted: g.weighted()}
+	if s.cache != nil && !req.NoCache {
+		if res, ok := s.cache.get(key); ok {
+			s.render(w, &req, res, true)
+			return
+		}
+	}
+
+	if err := s.admit.acquire(r.Context()); err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrQueueTimeout):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default: // client went away while queued
+			s.queriesCanceled.Add(1)
+		}
+		return
+	}
+	defer s.admit.release()
+
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.runQuery(ctx, g, req.Kernel, uint32(req.Source))
+	elapsed := time.Since(start)
+	s.hist.observe(elapsed)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.queriesDeadline.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "query exceeded its %v deadline", timeout)
+		case errors.Is(err, context.Canceled):
+			s.queriesCanceled.Add(1) // client disconnected; nothing to write
+		default:
+			s.queriesFailed.Add(1)
+			writeError(w, http.StatusInternalServerError, "traversal failed: %v", err)
+		}
+		return
+	}
+	res.elapsed = elapsed
+	if s.cache != nil && !req.NoCache {
+		s.cache.put(key, res)
+	}
+	s.render(w, &req, res, false)
+}
+
+// runQuery executes one traversal on the engine pool and snapshots its
+// vertex state. CC component ids are widened into the shared label array
+// with the NoVertex sentinel mapped to InfDist, so "reached" means the same
+// thing for every kernel.
+func (s *Server) runQuery(ctx context.Context, g *Graph, kernel string, src uint32) (*queryResult, error) {
+	switch kernel {
+	case "bfs":
+		r, err := s.pool.BFS(ctx, g.Adj, src)
+		if err != nil {
+			return nil, err
+		}
+		return &queryResult{labels: r.Level, parent: r.Parent, stats: r.Stats}, nil
+	case "sssp":
+		r, err := s.pool.SSSP(ctx, g.Adj, src)
+		if err != nil {
+			return nil, err
+		}
+		return &queryResult{labels: r.Dist, parent: r.Parent, stats: r.Stats}, nil
+	case "cc":
+		r, err := s.pool.CC(ctx, g.Adj)
+		if err != nil {
+			return nil, err
+		}
+		labels := make([]graph.Dist, len(r.ID))
+		no := graph.NoVertex[uint32]()
+		for i, id := range r.ID {
+			if id == no {
+				labels[i] = graph.InfDist
+			} else {
+				labels[i] = graph.Dist(id)
+			}
+		}
+		return &queryResult{labels: labels, stats: r.Stats}, nil
+	}
+	return nil, fmt.Errorf("server: unknown kernel %q", kernel)
+}
+
+// render writes the response for one request from a (possibly shared)
+// snapshot: the requested targets' states, or a whole-traversal summary.
+func (s *Server) render(w http.ResponseWriter, req *queryRequest, res *queryResult, cached bool) {
+	resp := queryResponse{
+		Graph:     req.Graph,
+		Kernel:    req.Kernel,
+		Source:    req.Source,
+		Cached:    cached,
+		ElapsedMs: ms(res.elapsed),
+		Stats: queryStats{
+			Visits:          res.stats.Visits,
+			Pushes:          res.stats.Pushes,
+			MaxQueue:        res.stats.MaxQueue,
+			PeakOutstanding: res.stats.PeakOutstanding,
+			Workers:         res.stats.Workers,
+		},
+	}
+	if len(req.Targets) > 0 {
+		no := graph.NoVertex[uint32]()
+		resp.Targets = make([]targetState, len(req.Targets))
+		for i, v := range req.Targets {
+			ts := targetState{Vertex: v, Reached: res.labels[v] != graph.InfDist}
+			if ts.Reached {
+				ts.Value = res.labels[v]
+				if res.parent != nil && res.parent[v] != no {
+					p := uint64(res.parent[v])
+					ts.Parent = &p
+				}
+			}
+			resp.Targets[i] = ts
+		}
+	} else {
+		sum := &querySummary{Vertices: uint64(len(res.labels))}
+		for v, l := range res.labels {
+			if l == graph.InfDist {
+				continue
+			}
+			sum.Reached++
+			if l > sum.MaxValue {
+				sum.MaxValue = l
+			}
+			// A CC component's id is its minimum member, so roots (label ==
+			// own index) count components in one pass.
+			if req.Kernel == "cc" && l == graph.Dist(v) {
+				sum.Components++
+			}
+		}
+		resp.Summary = sum
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
