@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -71,11 +72,11 @@ func run(in, out, to string, minVerts uint64, symmetrize bool) error {
 		err = fmt.Errorf("unknown -to %q (want asg or edgelist)", to)
 	}
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -95,7 +96,10 @@ func load(path string, minVerts uint64) (*graph.CSR[uint32], error) {
 	}
 	defer f.Close()
 	header := make([]byte, 4)
-	n, _ := f.ReadAt(header, 0)
+	n, err := f.ReadAt(header, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
 	if n == 4 && strings.HasPrefix(string(header), "ASG") {
 		backing, err := ssd.NewFileBacking(f)
 		if err != nil {

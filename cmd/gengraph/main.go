@@ -76,11 +76,11 @@ func run(typ string, scale, degree int, undirected bool, weights string, seed ui
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	if err := sem.WriteCSR(w, g); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -138,7 +138,7 @@ func runOutOfCore(typ string, scale, degree int, undirected bool, weights string
 	}
 	m, err := b.WriteTo(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

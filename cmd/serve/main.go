@@ -86,7 +86,7 @@ func load(spec graphSpec, prefetch, prefetchGap int) (server.Graph, error) {
 	// close eagerly here.
 	backing, err := ssd.NewFileBacking(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return g, err
 	}
 	if !spec.sem {

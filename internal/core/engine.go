@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/pq"
 )
 
@@ -127,6 +128,22 @@ func (c *Config) normalize() {
 	if c.Prefetch < 0 {
 		c.Prefetch = 0
 	}
+	if c.Queue != QueueHeap && c.Queue != QueueBucket {
+		c.Queue = QueueHeap
+	}
+	if c.CoarseShift > 64 {
+		// Priorities are 64-bit; every shift >= 64 coarsens all priorities
+		// into one bucket, so 64 is the canonical saturating value.
+		c.CoarseShift = 64
+	}
+	if c.Queue == QueueBucket {
+		// The bucket queue is FIFO within a priority and supports neither the
+		// secondary semi-sort key nor coarsened comparison; canonicalize the
+		// ignored knobs so configurations that behave identically also
+		// compare identically (EnginePool reuse keys off the whole Config).
+		c.SemiSort = false
+		c.CoarseShift = 0
+	}
 }
 
 // FibHash is the default queue-selection hash: Fibonacci multiplicative
@@ -191,17 +208,40 @@ type Ctx[V graph.Vertex] struct {
 // With batching enabled the visitor is buffered in the worker's outbox and
 // delivered when the destination bucket reaches Config.Batch items or the
 // worker runs out of local work.
+//
+//lint:hotpath
 func (c *Ctx[V]) Push(pri uint64, v V, aux uint64) {
 	c.pushes++
 	e := c.engine
 	e.term.Start()
-	owner := int(e.cfg.Hash(uint64(v)) % uint64(len(e.queues)))
+	owner := e.owner(uint64(v))
 	it := pq.Item{Pri: pri, V: uint64(v), Aux: aux}
 	if c.out != nil {
 		c.out.add(owner, it)
 		return
 	}
 	e.queues[owner].push(it)
+}
+
+// Owns reports whether this worker is the hash-designated owner of v, i.e.
+// whether the ownership protocol permits this visitor to read or write v's
+// per-vertex state. Visitors only ever receive vertices they own; Owns exists
+// so state writes can be guarded explicitly (see AssertOwned).
+func (c *Ctx[V]) Owns(v V) bool {
+	return c.engine.owner(uint64(v)) == c.Worker
+}
+
+// AssertOwned asserts the engine's owner rule — per-vertex state may only be
+// written by the vertex's hash-designated owning worker — at a state-write
+// site. In normal builds it compiles to nothing; under `-tags invariants` a
+// violation panics with both worker ids. The traversal kernels call it before
+// every label/parent write; custom visitors should do the same.
+func (c *Ctx[V]) AssertOwned(v V) {
+	if invariant.Enabled {
+		if o := c.engine.owner(uint64(v)); o != c.Worker {
+			invariant.Failf("owner rule: worker %d writing state of vertex %d owned by worker %d", c.Worker, v, o)
+		}
+	}
 }
 
 // VisitFunc is the vertex visitor body (the paper's Algorithm 2 / 4). It
@@ -226,6 +266,12 @@ type Engine[V graph.Vertex] struct {
 	// stop is closed by Wait once the workers have exited; it retires the
 	// Config.Context watcher goroutine so cancellation support never leaks.
 	stop chan struct{}
+	// watcherDone, non-nil iff Start launched a Config.Context watcher, is
+	// closed when that watcher exits. Wait joins on it before handing the
+	// resource set back to the pool: a watcher caught mid-Abort still holds
+	// e.queues, and releasing (then recycling) the queues under it would let
+	// its finish() mark a *different* traversal's queues done.
+	watcherDone chan struct{}
 
 	// term detects termination: it counts queued-but-unfinished visitors
 	// (including visitors still buffered in outboxes) plus one init token
@@ -284,7 +330,9 @@ func (e *Engine[V]) SetPrefetch(fn func(window []pq.Item, scratch *graph.Scratch
 // before Wait.
 func (e *Engine[V]) Start() {
 	if ctx := e.cfg.Context; ctx != nil {
+		e.watcherDone = make(chan struct{})
 		go func() {
+			defer close(e.watcherDone)
 			select {
 			case <-ctx.Done():
 				e.Abort(ctx.Err())
@@ -298,13 +346,18 @@ func (e *Engine[V]) Start() {
 	}
 }
 
+// owner maps a vertex id to the index of its owning worker (and queue): the
+// single routing rule behind the engine's exclusive-ownership discipline.
+func (e *Engine[V]) owner(v uint64) int {
+	return int(e.cfg.Hash(v) % uint64(len(e.queues)))
+}
+
 // Push queues a visitor for v. Safe for concurrent use. External pushes are
 // delivered directly (lock-per-push); pushes from inside visitors go through
 // the worker's batching outbox instead (see Ctx.Push).
 func (e *Engine[V]) Push(pri uint64, v V, aux uint64) {
 	e.term.Start()
-	q := e.queues[e.cfg.Hash(uint64(v))%uint64(len(e.queues))]
-	q.push(pq.Item{Pri: pri, V: uint64(v), Aux: aux})
+	e.queues[e.owner(uint64(v))].push(pq.Item{Pri: pri, V: uint64(v), Aux: aux})
 }
 
 // ParallelInit pushes n initial visitors concurrently, the paper's
@@ -337,7 +390,7 @@ func (e *Engine[V]) ParallelInit(n uint64, gen func(i uint64) (pri uint64, v V, 
 			for i := lo; i < hi; i++ {
 				pri, v, aux := gen(i)
 				e.term.Start()
-				owner := int(e.cfg.Hash(uint64(v)) % uint64(len(e.queues)))
+				owner := e.owner(uint64(v))
 				it := pq.Item{Pri: pri, V: uint64(v), Aux: aux}
 				if out != nil {
 					out.add(owner, it)
@@ -363,6 +416,9 @@ func (e *Engine[V]) Wait() (Stats, error) {
 	}
 	e.wg.Wait()
 	close(e.stop)
+	if e.watcherDone != nil {
+		<-e.watcherDone
+	}
 	st := Stats{
 		Visits:          e.visits.Load(),
 		Pushes:          e.pushes.Load(),
@@ -410,17 +466,22 @@ func (e *Engine[V]) Abort(err error) {
 	e.fail(err)
 }
 
+// retire folds a finished worker's local counters into the engine totals.
+// Deferred (as a bound method call, not a closure) by the worker loops.
+func (e *Engine[V]) retire(ctx *Ctx[V], id int) {
+	e.visits.Add(ctx.visits)
+	e.pushes.Add(ctx.pushes)
+	e.workerVisits[id] = ctx.visits
+	e.wg.Done()
+}
+
+//lint:hotpath
 func (e *Engine[V]) worker(id int) {
-	defer e.wg.Done()
 	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: e.res.scratch[id]}
 	if e.res.outs != nil {
 		ctx.out = e.res.outs[id]
 	}
-	defer func() {
-		e.visits.Add(ctx.visits)
-		e.pushes.Add(ctx.pushes)
-		e.workerVisits[id] = ctx.visits
-	}()
+	defer e.retire(ctx, id)
 	if e.cfg.Prefetch > 1 && e.prefetch != nil {
 		e.workerWindowed(id, ctx)
 		return
@@ -442,6 +503,11 @@ func (e *Engine[V]) worker(id int) {
 				return
 			}
 		}
+		if invariant.Enabled {
+			if o := e.owner(it.V); o != id {
+				invariant.Failf("owner rule: visitor for vertex %d (owner %d) popped by worker %d", it.V, o, id)
+			}
+		}
 		ctx.visits++
 		if err := e.visit(ctx, it); err != nil {
 			e.fail(err)
@@ -459,6 +525,8 @@ func (e *Engine[V]) worker(id int) {
 // visits in window order while the reads are in flight. All popped visitors
 // came off this worker's queue, so exclusive vertex ownership is exactly as
 // in the one-at-a-time loop.
+//
+//lint:hotpath
 func (e *Engine[V]) workerWindowed(id int, ctx *Ctx[V]) {
 	q := e.queues[id]
 	window := make([]pq.Item, 0, e.cfg.Prefetch)
@@ -475,6 +543,13 @@ func (e *Engine[V]) workerWindowed(id int, ctx *Ctx[V]) {
 				return
 			}
 			window = append(window, it)
+		}
+		if invariant.Enabled {
+			for _, it := range window {
+				if o := e.owner(it.V); o != id {
+					invariant.Failf("owner rule: visitor for vertex %d (owner %d) popped by worker %d", it.V, o, id)
+				}
+			}
 		}
 		if len(window) > 1 && !e.aborted.Load() {
 			e.prefetch(window, ctx.Scratch)

@@ -1,0 +1,139 @@
+//go:build invariants
+
+// Protocol-invariant tests for instrumented builds: every scenario here
+// violates the ownership/termination protocol on purpose and must panic
+// with a recognizable message. The mirror file invariant_off_test.go runs
+// the same scenarios without the tag and asserts they stay silent — the
+// assertions must cost nothing in production builds.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/pq"
+)
+
+func TestInvariantsEnabled(t *testing.T) {
+	if !invariant.Enabled {
+		t.Fatal("built with -tags invariants but invariant.Enabled is false")
+	}
+}
+
+// expectInvariantPanic runs fn and asserts it panics with an invariant
+// violation mentioning substr.
+func expectInvariantPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected invariant panic containing %q, got none", substr)
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "invariant violation") || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not look like an invariant violation containing %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+// TestOwnerRuleViolationPanics runs a deliberately broken visitor that
+// claims ownership of a vertex belonging to the other worker. Under
+// -tags invariants AssertOwned must panic inside the visitor; the visitor
+// recovers the panic itself (worker goroutines cannot be recovered from the
+// test goroutine) and converts it to an error so the engine shuts down
+// cleanly.
+func TestOwnerRuleViolationPanics(t *testing.T) {
+	var caught atomic.Pointer[string]
+	visit := func(ctx *Ctx[uint32], it pq.Item) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg := fmt.Sprint(r)
+				caught.Store(&msg)
+				err = errors.New("owner rule violated")
+			}
+		}()
+		// With IdentityHash and two workers, vertex it.V+1 always hashes to
+		// the other worker: this write claim is always a violation.
+		ctx.AssertOwned(uint32(it.V + 1))
+		return nil
+	}
+	e := New[uint32](Config{Workers: 2, Hash: IdentityHash}, visit)
+	e.Start()
+	e.Push(0, 0, 0)
+	if _, err := e.Wait(); err == nil {
+		t.Fatal("broken visitor completed without error under -tags invariants")
+	}
+	msg := caught.Load()
+	if msg == nil {
+		t.Fatal("AssertOwned did not panic for a non-owned vertex")
+	}
+	if !strings.Contains(*msg, "owner rule") {
+		t.Fatalf("panic %q does not mention the owner rule", *msg)
+	}
+}
+
+// TestOwnsAgreesWithAssertOwned pins the non-panicking query against the
+// asserting form: a visitor owns exactly the vertex it was delivered.
+func TestOwnsAgreesWithAssertOwned(t *testing.T) {
+	visit := func(ctx *Ctx[uint32], it pq.Item) error {
+		if !ctx.Owns(uint32(it.V)) {
+			return errors.New("visitor delivered a vertex it does not own")
+		}
+		ctx.AssertOwned(uint32(it.V)) // must not panic
+		return nil
+	}
+	e := New[uint32](Config{Workers: 4, Hash: IdentityHash}, visit)
+	e.Start()
+	for v := uint32(0); v < 64; v++ {
+		e.Push(uint64(v), v, 0)
+	}
+	if _, err := e.Wait(); err != nil {
+		t.Fatalf("owner-respecting visitor failed: %v", err)
+	}
+}
+
+func TestTerminatorUnderflowPanics(t *testing.T) {
+	tm := NewTerminator()
+	if !tm.Release() { // drops the init token: count 1 -> 0, terminated
+		t.Fatal("Release of an idle terminator did not report termination")
+	}
+	expectInvariantPanic(t, "terminator underflow", func() {
+		tm.Finish() // 0 -> -1: a Finish without a matching Start
+	})
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := NewEnginePool[uint32](Config{Workers: 2})
+	r := p.acquire()
+	p.release(r)
+	expectInvariantPanic(t, "released twice", func() {
+		p.release(r)
+	})
+}
+
+func TestPoolDirtyQueuePanics(t *testing.T) {
+	cfg := Config{Workers: 2}
+	cfg.normalize()
+	r := newEngineRes[uint32](cfg)
+	r.queues[0].push(pq.Item{Pri: 1, V: 7})
+	expectInvariantPanic(t, "still holds", func() {
+		r.assertPristine()
+	})
+}
+
+func TestPoolResetRestoresPristine(t *testing.T) {
+	cfg := Config{Workers: 2}
+	cfg.normalize()
+	r := newEngineRes[uint32](cfg)
+	r.queues[0].push(pq.Item{Pri: 1, V: 7})
+	r.queues[1].finish()
+	// reset itself runs assertPristine under the tag; surviving it proves a
+	// dirty, closed queue set is fully restored.
+	r.reset()
+}

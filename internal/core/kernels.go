@@ -34,6 +34,52 @@ func bfsStep(pri uint64, _ graph.Weight) uint64  { return pri + 1 }
 func ssspStep(pri uint64, w graph.Weight) uint64 { return pri + uint64(w) }
 func ccStep(pri uint64, _ graph.Weight) uint64   { return pri }
 
+// kernelState is the per-traversal state of the shared relaxation kernel:
+// the label (and optional parent) arrays plus the relaxation arithmetic. Its
+// visit method is the engine's VisitFunc — a named method rather than a
+// closure so the per-visit path allocates nothing and carries the hotpath
+// annotation.
+type kernelState[V graph.Vertex] struct {
+	g      graph.Adjacency[V]
+	labels []graph.Dist
+	parent []V
+	step   stepFunc
+}
+
+// visit is the shared visitor body (label-correcting, §III-B). The owner
+// rule makes the labels/parent writes race-free: vertex v is only ever
+// visited by its hash-designated owning worker, which AssertOwned checks
+// under `-tags invariants`.
+//
+//lint:hotpath
+func (k *kernelState[V]) visit(ctx *Ctx[V], it pq.Item) error {
+	v := V(it.V)
+	if it.Pri >= k.labels[v] {
+		return nil // stale visitor: current label is already as good
+	}
+	ctx.AssertOwned(v)
+	k.labels[v] = it.Pri // relax vertex information
+	var aux uint64
+	if k.parent != nil {
+		k.parent[v] = V(it.Aux)
+		aux = uint64(v)
+	}
+	targets, weights, err := k.g.Neighbors(v, ctx.Scratch)
+	if err != nil {
+		return err
+	}
+	if weights == nil {
+		for _, t := range targets {
+			ctx.Push(k.step(it.Pri, 1), t, aux)
+		}
+	} else {
+		for i, t := range targets {
+			ctx.Push(k.step(it.Pri, weights[i]), t, aux)
+		}
+	}
+	return nil
+}
+
 // runKernel executes the shared label-relaxation traversal. labels must be
 // length NumVertices and initialized to graph.InfDist ("initialized to
 // infinity"). parent, when non-nil, records the proposing vertex of each
@@ -49,37 +95,12 @@ func runKernel[V graph.Vertex](
 	step stepFunc,
 	seed func(e *Engine[V]),
 ) (Stats, error) {
-	visit := func(ctx *Ctx[V], it pq.Item) error {
-		v := V(it.V)
-		if it.Pri >= labels[v] {
-			return nil // stale visitor: current label is already as good
-		}
-		labels[v] = it.Pri // relax vertex information
-		var aux uint64
-		if parent != nil {
-			parent[v] = V(it.Aux)
-			aux = uint64(v)
-		}
-		targets, weights, err := g.Neighbors(v, ctx.Scratch)
-		if err != nil {
-			return err
-		}
-		if weights == nil {
-			for _, t := range targets {
-				ctx.Push(step(it.Pri, 1), t, aux)
-			}
-		} else {
-			for i, t := range targets {
-				ctx.Push(step(it.Pri, weights[i]), t, aux)
-			}
-		}
-		return nil
-	}
+	k := &kernelState[V]{g: g, labels: labels, parent: parent, step: step}
 	var e *Engine[V]
 	if pool != nil {
-		e = newEngine(cfg, visit, pool.acquire(), pool)
+		e = newEngine(cfg, k.visit, pool.acquire(), pool)
 	} else {
-		e = New[V](cfg, visit)
+		e = New[V](cfg, k.visit)
 	}
 	if cfg.Prefetch > 1 {
 		if ba, ok := g.(graph.BatchAdjacency[V]); ok {

@@ -34,6 +34,8 @@ type workQueue struct {
 }
 
 // push delivers a single visitor (the lock-per-push path).
+//
+//lint:hotpath
 func (q *workQueue) push(it pq.Item) {
 	q.mu.Lock()
 	q.heap.Push(it)
@@ -43,6 +45,8 @@ func (q *workQueue) push(it pq.Item) {
 
 // pushBatch delivers a batch of visitors under one lock acquisition and one
 // signal. Only the owning worker waits on the condvar, so Signal suffices.
+//
+//lint:hotpath
 func (q *workQueue) pushBatch(its []pq.Item) {
 	if len(its) == 0 {
 		return
@@ -54,6 +58,8 @@ func (q *workQueue) pushBatch(its []pq.Item) {
 }
 
 // tryPop removes the minimum visitor without blocking.
+//
+//lint:hotpath
 func (q *workQueue) tryPop() (pq.Item, bool) {
 	q.mu.Lock()
 	it, ok := q.heap.Pop()
@@ -65,6 +71,8 @@ func (q *workQueue) tryPop() (pq.Item, bool) {
 // them to dst (the worker's pop-window path; see Config.Prefetch). The queue
 // implementation bounds the batch: the heap hands out k successive minima,
 // the bucket queue at most the current minimum-priority bucket.
+//
+//lint:hotpath
 func (q *workQueue) tryPopBatch(dst []pq.Item, k int) []pq.Item {
 	q.mu.Lock()
 	dst = q.heap.PopBatch(dst, k)
@@ -117,6 +125,8 @@ func newOutbox(queues []*workQueue, batch int) *outbox {
 // add buffers a visitor for the given owner, flushing that owner's bucket if
 // it reached the batch size. The caller must already have registered the
 // visitor with the Terminator.
+//
+//lint:hotpath
 func (o *outbox) add(owner int, it pq.Item) {
 	buf := append(o.bufs[owner], it)
 	if len(buf) >= o.batch {
@@ -129,6 +139,8 @@ func (o *outbox) add(owner int, it pq.Item) {
 
 // flush delivers every buffered visitor (the drain trigger). Must be called
 // before the producer blocks or exits.
+//
+//lint:hotpath
 func (o *outbox) flush() {
 	for owner, buf := range o.bufs {
 		if len(buf) > 0 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // This file is the engine's reuse layer, built for long-lived serving
@@ -24,6 +25,13 @@ type engineRes[V graph.Vertex] struct {
 	queues  []*workQueue
 	scratch []*graph.Scratch[V]
 	outs    []*outbox // nil when batching is disabled (Batch == 1)
+
+	// pooled marks a set currently sitting on the free list. Only consulted
+	// under `-tags invariants`, where releasing a set twice — which would let
+	// two concurrent traversals share queues — panics instead of corrupting
+	// both traversals. Reads and writes are single-threaded: exactly one
+	// goroutine holds a set between acquire and release.
+	pooled bool
 }
 
 func newEngineRes[V graph.Vertex](cfg Config) *engineRes[V] {
@@ -63,6 +71,36 @@ func (r *engineRes[V]) reset() {
 	}
 	for _, s := range r.scratch {
 		s.Prefetch = nil
+	}
+	if invariant.Enabled {
+		r.assertPristine()
+	}
+}
+
+// assertPristine panics unless the resource set is in its post-reset state:
+// every queue empty and reopened, every outbox buffer empty. A dirty set
+// re-entering the pool would leak visitors from one traversal into the next
+// — a cross-query correctness breach that manifests as wrong labels long
+// after the offending query finished. Called from reset under
+// `-tags invariants`; exercised directly by tests.
+func (r *engineRes[V]) assertPristine() {
+	for i, q := range r.queues {
+		q.mu.Lock()
+		n, done := q.heap.Len(), q.done
+		q.mu.Unlock()
+		if n != 0 {
+			invariant.Failf("engine pool: recycled queue %d still holds %d visitors after reset", i, n)
+		}
+		if done {
+			invariant.Failf("engine pool: recycled queue %d still marked done after reset", i)
+		}
+	}
+	for i, o := range r.outs {
+		for owner, buf := range o.bufs {
+			if len(buf) != 0 {
+				invariant.Failf("engine pool: recycled outbox %d still buffers %d visitors for owner %d after reset", i, len(buf), owner)
+			}
+		}
 	}
 }
 
@@ -115,6 +153,9 @@ func (p *EnginePool[V]) acquire() *engineRes[V] {
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
 		p.reuses.Add(1)
+		if invariant.Enabled {
+			r.pooled = false
+		}
 		return r
 	}
 	p.mu.Unlock()
@@ -122,6 +163,12 @@ func (p *EnginePool[V]) acquire() *engineRes[V] {
 }
 
 func (p *EnginePool[V]) release(r *engineRes[V]) {
+	if invariant.Enabled {
+		if r.pooled {
+			invariant.Failf("engine pool: resource set released twice (two traversals would share queues)")
+		}
+		r.pooled = true
+	}
 	r.reset()
 	p.mu.Lock()
 	p.free = append(p.free, r)

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/invariant"
+)
 
 // Terminator implements the paper's asynchronous termination detection (the
 // pri_q_visit.wait() of §III): an atomic counter of queued-but-unfinished
@@ -48,7 +52,15 @@ func (t *Terminator) Start() {
 // Finish completes one unit of work and reports whether the computation has
 // terminated (counter reached zero).
 func (t *Terminator) Finish() bool {
-	return t.outstanding.Add(-1) == 0
+	n := t.outstanding.Add(-1)
+	if invariant.Enabled && n < 0 {
+		// A negative count means a Finish without a matching Start (or a
+		// double Release): termination would have been declared while work
+		// could still be outstanding — the protocol's worst failure mode,
+		// normally visible only as a rare lost-update hang or wrong answer.
+		invariant.Failf("terminator underflow: outstanding work count %d < 0", n)
+	}
+	return n == 0
 }
 
 // Release drops the init token once the caller has issued every initial unit

@@ -95,12 +95,12 @@ func (b *Builder) spill() error {
 		binary.LittleEndian.PutUint32(rec[4:], e.Dst)
 		binary.LittleEndian.PutUint32(rec[8:], e.W)
 		if _, err := w.Write(rec[:]); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("extsort: write spill: %w", err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("extsort: flush spill: %w", err)
 	}
 	b.spills = append(b.spills, f)
@@ -113,8 +113,8 @@ func (b *Builder) spill() error {
 func (b *Builder) Cleanup() {
 	for _, f := range b.spills {
 		name := f.Name()
-		f.Close()
-		os.Remove(name)
+		_ = f.Close()
+		_ = os.Remove(name)
 	}
 	b.spills = nil
 }

@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled is false in normal builds: every assertion guarded by it is dead
+// code and is eliminated by the compiler, so the instrumented hot paths are
+// bit-for-bit the uninstrumented ones.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build invariants
+
+package invariant
+
+// Enabled reports whether runtime invariant checking is compiled in. This
+// file is selected by `-tags invariants`.
+const Enabled = true

@@ -1,0 +1,32 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// engine's ownership/termination protocol — the correctness properties the
+// Go type system and the race detector cannot see (an owner-rule breach
+// through correctly-ordered atomics is invisible to -race).
+//
+// Assertions compile to nothing in normal builds: Enabled is a constant
+// false, so every `if invariant.Enabled { ... }` guard is dead code the
+// compiler eliminates entirely. Building with `-tags invariants` flips the
+// constant and makes protocol violations panic at the violation site:
+//
+//	go test -race -count=1 -tags invariants ./...
+//
+// The checked invariants (see DESIGN.md "Protocol invariants and how they
+// are enforced"):
+//
+//   - owner rule: per-vertex state is written only by the hash-designated
+//     owning worker (core.Ctx.AssertOwned, the worker pop loops);
+//   - terminator: the outstanding-work counter never goes negative
+//     (core.Terminator.Finish);
+//   - pool recycling: a resource set is never released twice, and a
+//     recycled set re-enters the pool pristine — empty reopened queues and
+//     empty outboxes (core.EnginePool).
+package invariant
+
+import "fmt"
+
+// Failf reports an invariant violation by panicking with a prefixed
+// message. Call sites must be guarded by Enabled so the formatting cost
+// (and the check itself) vanish from normal builds.
+func Failf(format string, args ...any) {
+	panic("invariant violation: " + fmt.Sprintf(format, args...))
+}

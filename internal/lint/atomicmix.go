@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// AtomicMix flags struct fields that are accessed both through sync/atomic
+// (atomic.AddUint64(&s.f, ...) or the method form s.f.Load() on the
+// sync/atomic wrapper types) and with plain loads or stores anywhere in the
+// declaring package. Mixing the two breaks the memory model silently: the
+// plain access does not participate in the atomic happens-before order, yet
+// the race detector often cannot observe the pair racing (the engine's
+// termination counter and abort flag are exactly such fields). The protocol
+// answer is one discipline per field, never both.
+const atomicMixName = "atomic-mix"
+
+var AtomicMix = &Analyzer{
+	Name: atomicMixName,
+	Doc:  "struct field accessed both via sync/atomic and with plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+type fieldAccess struct {
+	atomic []token.Pos
+	plain  []token.Pos
+}
+
+func runAtomicMix(p *Package) []Diagnostic {
+	accesses := make(map[*types.Var]*fieldAccess)
+	claimed := make(map[*ast.SelectorExpr]bool) // selectors consumed by an atomic access
+
+	// fieldOf resolves a selector to the struct field it reads or writes.
+	fieldOf := func(sel *ast.SelectorExpr) *types.Var {
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok && v.Pkg() == p.Types {
+				return v
+			}
+		}
+		return nil
+	}
+	record := func(v *types.Var, pos token.Pos, isAtomic bool) {
+		acc := accesses[v]
+		if acc == nil {
+			acc = &fieldAccess{}
+			accesses[v] = acc
+		}
+		if isAtomic {
+			acc.atomic = append(acc.atomic, pos)
+		} else {
+			acc.plain = append(acc.plain, pos)
+		}
+	}
+
+	// Pass 1: atomic accesses. Two shapes:
+	//   atomic.AddUint64(&s.f, 1)   — sync/atomic package function on &field
+	//   s.f.Add(1)                  — method on a sync/atomic wrapper type
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "sync/atomic" {
+					for _, arg := range call.Args {
+						un, ok := arg.(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						if sel, ok := un.X.(*ast.SelectorExpr); ok {
+							if f := fieldOf(sel); f != nil {
+								record(f, sel.Pos(), true)
+								claimed[sel] = true
+							}
+						}
+					}
+					return true
+				}
+			}
+			if m, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && m.Pkg() != nil && m.Pkg().Path() == "sync/atomic" {
+				if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+					if f := fieldOf(sel); f != nil {
+						record(f, sel.Pos(), true)
+						claimed[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every unclaimed selector on the same fields is a plain access.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || claimed[sel] {
+				return true
+			}
+			if f := fieldOf(sel); f != nil {
+				record(f, sel.Pos(), false)
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	for f, acc := range accesses {
+		if len(acc.atomic) == 0 || len(acc.plain) == 0 {
+			continue
+		}
+		first := acc.plain[0]
+		for _, pos := range acc.plain[1:] {
+			if pos < first {
+				first = pos
+			}
+		}
+		firstAtomic := acc.atomic[0]
+		for _, pos := range acc.atomic[1:] {
+			if pos < firstAtomic {
+				firstAtomic = pos
+			}
+		}
+		ap := p.Fset.Position(firstAtomic)
+		diags = append(diags, Diagnostic{
+			Pos:      p.Fset.Position(first),
+			Analyzer: atomicMixName,
+			Message: "field " + f.Name() + " is accessed with a plain load/store here but atomically at " +
+				ap.Filename + ":" + strconv.Itoa(ap.Line) + "; pick one discipline",
+		})
+	}
+	return diags
+}

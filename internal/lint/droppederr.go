@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags I/O calls whose error result is silently discarded. The
+// semi-external layers (internal/sem, internal/ssd, internal/extsort) funnel
+// every byte through ReadAt/WriteAt/Write/Close; a dropped error there turns
+// device failure into silent graph corruption. Flagged shapes:
+//
+//	f.Close()            // expression statement, error vanishes
+//	n, _ := f.ReadAt(p)  // tuple assignment, error position is blank
+//
+// Two shapes are deliberately accepted:
+//
+//	_ = f.Close()        // solitary blank assign: explicit, auditable intent
+//	defer f.Close()      // defer cannot propagate the error; conventional
+//	                     // for read-only resources
+//
+// The method-name set is the positional/streams family the storage layers
+// use: Read, ReadAt, Write, WriteAt, Close, Flush, Sync.
+const droppedErrName = "droppederr"
+
+var DroppedErr = &Analyzer{
+	Name: droppedErrName,
+	Doc:  "ignored error results from Read/ReadAt/Write/WriteAt/Close/Flush/Sync",
+	Run:  runDroppedErr,
+}
+
+var droppedErrMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"Close": true, "Flush": true, "Sync": true,
+}
+
+// errReturningIOCall reports whether call is a method call (not a package-
+// qualified function) in the watched name set whose final result is error.
+func errReturningIOCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !droppedErrMethods[sel.Sel.Name] {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return "", false // pkg.Func(...), e.g. fmt.Fprintln — not an I/O method
+		}
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return types.ExprString(sel.X) + "." + sel.Sel.Name, true
+}
+
+func runDroppedErr(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := errReturningIOCall(p.Info, call); ok {
+						diags = append(diags, Diagnostic{
+							Pos:      p.Fset.Position(stmt.Pos()),
+							Analyzer: droppedErrName,
+							Message:  name + " error is dropped; handle it or assign it to _ explicitly",
+						})
+					}
+				}
+			case *ast.AssignStmt:
+				// n, _ := f.ReadAt(...): some results used, error blanked.
+				if len(stmt.Rhs) != 1 || len(stmt.Lhs) < 2 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				allBlank := true
+				for _, lhs := range stmt.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+						break
+					}
+				}
+				if allBlank {
+					return true // fully explicit discard
+				}
+				if last, ok := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident); ok && last.Name == "_" {
+					if name, ok := errReturningIOCall(p.Info, call); ok {
+						diags = append(diags, Diagnostic{
+							Pos:      p.Fset.Position(stmt.Pos()),
+							Analyzer: droppedErrName,
+							Message:  name + " error is blanked while other results are used; handle it",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

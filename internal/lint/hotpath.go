@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotpath enforces allocation discipline in functions annotated with a
+// `//lint:hotpath` doc-comment line: the engine's per-visit code (worker pop
+// loops, the relaxation kernel, mailbox delivery, queue operations, SEM
+// decode and prefetch consumption) runs millions of times per traversal, and
+// a single fmt call, time.Now, map allocation, or closure sneaking in
+// regresses every benchmark at once. Inside an annotated function the
+// analyzer flags:
+//
+//   - any call into the fmt package (formatting allocates);
+//   - time.Now (a vDSO call per visit is still a call per visit);
+//   - map allocation: make(map...) or a map composite literal;
+//   - function literals: a closure capturing variables escapes them to the
+//     heap (including the append-into-captured-slice pattern); hoist it to a
+//     named method as Engine.retire and kernelState.visit are.
+const hotpathName = "hotpath"
+
+var Hotpath = &Analyzer{
+	Name: hotpathName,
+	Doc:  "no fmt, time.Now, map allocation, or closures in //lint:hotpath functions",
+	Run:  runHotpath,
+}
+
+// HotpathDirective is the doc-comment line that opts a function into the
+// hotpath discipline.
+const HotpathDirective = "//lint:hotpath"
+
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == HotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotpath(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(n ast.Node, fnName, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: hotpathName,
+			Message:  msg + " in hotpath function " + fnName,
+		})
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !isHotpath(fn) || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+						if id, ok := sel.X.(*ast.Ident); ok {
+							if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+								switch pn.Imported().Path() {
+								case "fmt":
+									flag(node, name, "call to fmt."+sel.Sel.Name+" (formats and allocates)")
+								case "time":
+									if sel.Sel.Name == "Now" {
+										flag(node, name, "call to time.Now")
+									}
+								}
+							}
+						}
+					}
+					if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "make" && len(node.Args) > 0 {
+						if t := p.Info.TypeOf(node.Args[0]); t != nil {
+							if _, isMap := t.Underlying().(*types.Map); isMap {
+								flag(node, name, "map allocation (make)")
+							}
+						}
+					}
+				case *ast.CompositeLit:
+					if t := p.Info.TypeOf(node); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							flag(node, name, "map allocation (composite literal)")
+						}
+					}
+				case *ast.FuncLit:
+					flag(node, name, "closure allocation (captured variables escape); hoist to a named method")
+					return false // the closure's body is not this function's hot path
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

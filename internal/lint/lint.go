@@ -1,0 +1,76 @@
+// Package lint is the repository's project-specific static-analysis suite:
+// stdlib-only (go/ast, go/parser, go/types, go/token) analyzers that machine-
+// check the conventions the engine's asynchronous ownership/termination
+// protocol depends on — properties `go vet` and the race detector cannot
+// see, because a protocol breach through correctly-ordered atomics is not a
+// data race.
+//
+// The analyzers (run by cmd/lint, enforced in CI):
+//
+//   - atomic-mix: a struct field accessed both through sync/atomic and with
+//     plain loads/stores anywhere in its package;
+//   - locked-section: a sync.Mutex/RWMutex Lock without a deferred or
+//     same-block Unlock covering every return path;
+//   - hotpath: no fmt calls, time.Now, map allocation, or closure creation
+//     inside functions annotated `//lint:hotpath`;
+//   - droppederr: ignored error results from Read/ReadAt/Write/WriteAt/
+//     Close/Flush/Sync calls;
+//   - configcheck: every exported field of an exported ...Config struct must
+//     be referenced by that package's validate/normalize function.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the suite's canonical
+// "file:line: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{AtomicMix, LockedSection, Hotpath, DroppedErr, ConfigCheck}
+}
+
+// RunAll applies every analyzer to every package and returns the findings
+// sorted by file, line, and analyzer name.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			diags = append(diags, a.Run(p)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixturePkgs []*Package
+	fixtureErr  error
+)
+
+// loadFixture type-checks the seeded-violation module under testdata once
+// per test binary; every analyzer test shares the result.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixturePkgs, fixtureErr = Load("testdata/fixture", "./...")
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
+	}
+	if len(fixturePkgs) == 0 {
+		t.Fatal("fixture module produced no packages")
+	}
+	return fixturePkgs
+}
+
+// runOn runs one analyzer over the fixture and returns its diagnostics keyed
+// as "file.go:line".
+func runOn(t *testing.T, a *Analyzer) map[string][]string {
+	t.Helper()
+	got := make(map[string][]string)
+	for _, d := range RunAll(loadFixture(t), []*Analyzer{a}) {
+		key := filepath.Base(d.Pos.Filename) + ":" + strconv.Itoa(d.Pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+	return got
+}
+
+// expectExactly asserts the analyzer fired at precisely the wanted
+// positions: every seeded violation is caught and nothing else (the clean
+// counterparts in the same files stay quiet).
+func expectExactly(t *testing.T, a *Analyzer, want map[string]string) {
+	t.Helper()
+	got := runOn(t, a)
+	for key, substr := range want {
+		msgs, ok := got[key]
+		if !ok {
+			t.Errorf("%s: expected a diagnostic at %s, got none", a.Name, key)
+			continue
+		}
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: diagnostic at %s = %q, want substring %q", a.Name, key, msgs, substr)
+		}
+	}
+	for key, msgs := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unexpected diagnostic at %s: %q", a.Name, key, msgs)
+		}
+	}
+}
+
+func TestAtomicMix(t *testing.T) {
+	expectExactly(t, AtomicMix, map[string]string{
+		"atomic.go:26": "field mixed is accessed with a plain load/store",
+		"atomic.go:27": "field boxed is accessed with a plain load/store",
+	})
+}
+
+func TestLockedSection(t *testing.T) {
+	expectExactly(t, LockedSection, map[string]string{
+		"locks.go:14": "no matching r.mu.Unlock()",
+		"locks.go:23": "return inside r.mu critical section",
+		"locks.go:50": "no matching r.rw.RUnlock()",
+	})
+}
+
+func TestHotpath(t *testing.T) {
+	expectExactly(t, Hotpath, map[string]string{
+		"hot.go:10": "call to fmt.Sprintf",
+		"hot.go:11": "call to time.Now",
+		"hot.go:12": "map allocation (make)",
+		"hot.go:13": "map allocation (composite literal)",
+		"hot.go:14": "closure allocation",
+	})
+}
+
+func TestDroppedErr(t *testing.T) {
+	expectExactly(t, DroppedErr, map[string]string{
+		"dropped.go:11": "s.Close error is dropped",
+		"dropped.go:12": "s.ReadAt error is blanked",
+		"dropped.go:13": "s.Write error is dropped",
+	})
+}
+
+func TestConfigCheck(t *testing.T) {
+	expectExactly(t, ConfigCheck, map[string]string{
+		"config.go:10": "Config.Depth is never referenced",
+		"config.go:23": "OrphanConfig has no validate/normalize function",
+	})
+}
+
+// TestDiagnosticFormat pins the contract the CI gate and editors rely on:
+// one diagnostic per line, formatted file:line: analyzer: message.
+func TestDiagnosticFormat(t *testing.T) {
+	diags := RunAll(loadFixture(t), Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		s := d.String()
+		parts := strings.SplitN(s, ": ", 3)
+		if len(parts) != 3 {
+			t.Fatalf("diagnostic %q does not match file:line: analyzer: message", s)
+		}
+		if !strings.Contains(parts[0], ".go:") {
+			t.Errorf("diagnostic %q position %q lacks file:line", s, parts[0])
+		}
+	}
+	// RunAll output is sorted by position for stable CI logs.
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", a.String(), b.String())
+		}
+	}
+}

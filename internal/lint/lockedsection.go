@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedSection flags sync.Mutex / sync.RWMutex critical sections that can
+// leak the lock: a Lock()/RLock() statement with neither a matching deferred
+// unlock in the enclosing function nor a matching unlock later in the same
+// statement list, and return statements inside the locked region that are
+// not preceded by an unlock in their own block. The engine's mailbox layer
+// (workQueue) and the server's graph registry both rely on short manual
+// lock/unlock sections on the hot path where defer is too costly — this
+// check keeps those sections honest as they are edited.
+//
+// The analysis is intentionally lexical (no CFG): it catches the common
+// mutations — adding an early return inside a critical section, deleting the
+// trailing unlock — and accepts any section covered by `defer x.Unlock()`.
+const lockedSectionName = "locked-section"
+
+var LockedSection = &Analyzer{
+	Name: lockedSectionName,
+	Doc:  "Lock without a dominating Unlock/defer Unlock on every return path",
+	Run:  runLockedSection,
+}
+
+// lockCall identifies a mutex method call statement: the printed receiver
+// expression plus the method name.
+type lockCall struct {
+	recv   string
+	method string
+}
+
+// mutexCall decodes stmt as a call to a Lock/Unlock-family method on a
+// sync.Mutex or sync.RWMutex value.
+func mutexCall(info *types.Info, stmt ast.Stmt) (lockCall, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return lockCall{}, false
+	}
+	return mutexCallExpr(info, es.X)
+}
+
+func mutexCallExpr(info *types.Info, x ast.Expr) (lockCall, bool) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockCall{}, false
+	}
+	t := info.TypeOf(fun.X)
+	if t == nil {
+		return lockCall{}, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return lockCall{}, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return lockCall{}, false
+	}
+	return lockCall{recv: types.ExprString(fun.X), method: fun.Sel.Name}, true
+}
+
+// unlockFor maps a lock method to its required release.
+func unlockFor(method string) string {
+	if method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func runLockedSection(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range p.Files {
+		// Examine each function independently; nested function literals are
+		// separate functions (their defers do not release the outer lock).
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				diags = append(diags, checkFunc(p, body)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkFunc analyzes one function body (not descending into nested function
+// literals).
+func checkFunc(p *Package, body *ast.BlockStmt) []Diagnostic {
+	// Collect the function's deferred unlocks.
+	deferred := make(map[lockCall]bool)
+	walkShallow(body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lc, ok := mutexCallExpr(p.Info, d.Call); ok {
+				deferred[lockCall{recv: lc.recv, method: lc.method}] = true
+			}
+		}
+	})
+
+	var diags []Diagnostic
+	// Visit every statement list in the function.
+	var lists [][]ast.Stmt
+	walkShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, s.List)
+		case *ast.CaseClause:
+			lists = append(lists, s.Body)
+		case *ast.CommClause:
+			lists = append(lists, s.Body)
+		}
+	})
+	for _, list := range lists {
+		diags = append(diags, checkList(p, list, deferred)...)
+	}
+	return diags
+}
+
+// checkList inspects one statement list for Lock statements and validates
+// their critical sections.
+func checkList(p *Package, list []ast.Stmt, deferred map[lockCall]bool) []Diagnostic {
+	var diags []Diagnostic
+	for i, stmt := range list {
+		lc, ok := mutexCall(p.Info, stmt)
+		if !ok || (lc.method != "Lock" && lc.method != "RLock") {
+			continue
+		}
+		want := lockCall{recv: lc.recv, method: unlockFor(lc.method)}
+		if deferred[want] {
+			continue // covered on every path by defer
+		}
+		// Find the matching unlock later in the same list.
+		unlockIdx := -1
+		for j := i + 1; j < len(list); j++ {
+			if u, ok := mutexCall(p.Info, list[j]); ok && u == want {
+				unlockIdx = j
+				break
+			}
+		}
+		if unlockIdx < 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(stmt.Pos()),
+				Analyzer: lockedSectionName,
+				Message:  lc.recv + "." + lc.method + "() has no matching " + want.recv + "." + want.method + "() in this block and no defer; the lock can leak",
+			})
+			continue
+		}
+		// Any return between the lock and its unlock must release the lock
+		// in its own block first.
+		for _, mid := range list[i+1 : unlockIdx] {
+			diags = append(diags, checkEscapes(p, mid, want)...)
+		}
+	}
+	return diags
+}
+
+// checkEscapes walks a statement inside a critical section and flags return
+// statements not preceded by the required unlock within their own enclosing
+// statement list.
+func checkEscapes(p *Package, stmt ast.Stmt, want lockCall) []Diagnostic {
+	var diags []Diagnostic
+	var visitList func(list []ast.Stmt, released bool)
+	var visitStmt func(s ast.Stmt, released bool)
+	visitList = func(list []ast.Stmt, released bool) {
+		for _, s := range list {
+			if u, ok := mutexCall(p.Info, s); ok && u == want {
+				released = true
+			}
+			visitStmt(s, released)
+		}
+	}
+	visitStmt = func(s ast.Stmt, released bool) {
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			if !released {
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(st.Pos()),
+					Analyzer: lockedSectionName,
+					Message:  "return inside " + want.recv + " critical section without " + want.recv + "." + want.method + "()",
+				})
+			}
+		case *ast.BlockStmt:
+			visitList(st.List, released)
+		case *ast.IfStmt:
+			visitList(st.Body.List, released)
+			if st.Else != nil {
+				visitStmt(st.Else, released)
+			}
+		case *ast.ForStmt:
+			visitList(st.Body.List, released)
+		case *ast.RangeStmt:
+			visitList(st.Body.List, released)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					visitList(cc.Body, released)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					visitList(cc.Body, released)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					visitList(cc.Body, released)
+				}
+			}
+		case *ast.LabeledStmt:
+			visitStmt(st.Stmt, released)
+		}
+	}
+	visitStmt(stmt, false)
+	return diags
+}
+
+// walkShallow walks the subtree rooted at n, invoking fn on every node but
+// not descending into nested function literals.
+func walkShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok && node != n {
+			return false
+		}
+		if node != nil {
+			fn(node)
+		}
+		return true
+	})
+}

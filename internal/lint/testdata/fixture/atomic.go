@@ -1,0 +1,30 @@
+// Package fixture seeds one deliberate violation per analyzer rule so the
+// lint unit tests can prove each rule fires (and stays quiet on the clean
+// counterparts). It lives under testdata so the go tool never builds it as
+// part of the repository.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	mixed  uint64        // accessed both atomically and plainly: violation
+	clean  uint64        // atomic-only: no diagnostic
+	plain  uint64        // plain-only: no diagnostic
+	boxed  atomic.Uint64 // method-form atomic, mixed with plain copy: violation
+	method atomic.Uint64 // method-form atomic only: no diagnostic
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.mixed, 1)
+	atomic.AddUint64(&c.clean, 1)
+	c.boxed.Add(1)
+	c.method.Add(1)
+	c.plain++
+}
+
+func (c *counters) read() uint64 {
+	n := c.mixed // plain load of an atomically-written field
+	v := &c.boxed
+	_ = v // plain (address) access to the wrapper field
+	return n + c.plain
+}

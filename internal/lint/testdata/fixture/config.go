@@ -1,0 +1,45 @@
+package fixture
+
+import "context"
+
+// Config has normalize coverage for Workers only: Depth is a violation.
+// Ctx is context.Context and therefore exempt; the unexported field is
+// ignored.
+type Config struct {
+	Workers int
+	Depth   int
+	Ctx     context.Context
+	secret  int
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	c.secret = 0
+}
+
+// OrphanConfig has no validator at all: violation on the type.
+type OrphanConfig struct {
+	Size int
+}
+
+// TunedConfig is fully validated via a package function taking it as the
+// first parameter: no diagnostics.
+type TunedConfig struct {
+	Gap   int
+	Batch int
+}
+
+func validate(c *TunedConfig) {
+	if c.Gap < 0 {
+		c.Gap = 0
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+}
+
+// CountConfig matches the name pattern but is not struct-underlying:
+// skipped entirely.
+type CountConfig int

@@ -1,0 +1,26 @@
+package fixture
+
+type spill struct{ closed bool }
+
+func (s *spill) Close() error                            { s.closed = true; return nil }
+func (s *spill) ReadAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (s *spill) Write(p []byte) (int, error)             { return len(p), nil }
+
+// dropAll exercises the flagged shapes.
+func dropAll(s *spill, p []byte) int {
+	s.Close()              // violation: expression statement drops the error
+	n, _ := s.ReadAt(p, 0) // violation: error blanked, count used
+	s.Write(p)             // violation: expression statement drops both results
+	return n
+}
+
+// acceptAll exercises the accepted shapes: no diagnostics.
+func acceptAll(s *spill, p []byte) error {
+	defer s.Close()   // defer cannot propagate; conventional
+	_ = s.Close()     // solitary blank assign: explicit intent
+	_, _ = s.Write(p) // fully blank tuple: explicit intent
+	if _, err := s.ReadAt(p, 0); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+//lint:hotpath
+func hotVisit(labels []uint64, v uint64) string {
+	s := fmt.Sprintf("v=%d", v)     // violation: fmt call
+	t := time.Now()                 // violation: time.Now
+	seen := make(map[uint64]bool)   // violation: map make
+	extra := map[string]int{"x": 1} // violation: map composite literal
+	f := func() { labels[v] = 1 }   // violation: closure allocation
+	f()
+	seen[v] = true
+	_ = extra
+	_ = t
+	return s
+}
+
+// coldVisit does all the same things without the annotation: no diagnostics.
+func coldVisit(labels []uint64, v uint64) string {
+	s := fmt.Sprintf("v=%d", v)
+	t := time.Now()
+	seen := make(map[uint64]bool)
+	f := func() { labels[v] = 1 }
+	f()
+	seen[v] = true
+	_ = t
+	return s
+}
+
+//lint:hotpath
+func hotClean(labels []uint64, v uint64) {
+	// Slices and arithmetic are fine on the hot path.
+	buf := make([]uint64, 0, 4)
+	buf = append(buf, v)
+	labels[v] = buf[0]
+}

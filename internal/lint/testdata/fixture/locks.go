@@ -1,0 +1,52 @@
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	set map[string]int
+}
+
+// leakyLock takes the lock and never releases it: violation (no matching
+// unlock in block, no defer).
+func (r *registry) leakyLock() {
+	r.mu.Lock()
+	r.set["x"] = 1
+}
+
+// earlyReturn releases on the fall-through path but leaks the lock on the
+// early return: violation (return inside critical section).
+func (r *registry) earlyReturn(k string) int {
+	r.mu.Lock()
+	if v, ok := r.set[k]; ok {
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// deferred is the canonical safe shape: no diagnostic.
+func (r *registry) deferred(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.set[k]
+}
+
+// manualPaired unlocks on every path, including before the early return: no
+// diagnostic.
+func (r *registry) manualPaired(k string) int {
+	r.mu.Lock()
+	if v, ok := r.set[k]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// readLeak leaks a read lock: violation (RLock without RUnlock).
+func (r *registry) readLeak(k string) int {
+	r.rw.RLock()
+	return r.set[k]
+}

@@ -42,6 +42,10 @@ func (c *Config) normalize() {
 	if c.Workers <= 0 {
 		c.Workers = 4 * runtime.GOMAXPROCS(0)
 	}
+	if c.Workers == 1 {
+		// A single worker has no victims; skip the steal probes entirely.
+		c.NoSteal = true
+	}
 }
 
 // Stats summarizes a completed traversal.

@@ -62,6 +62,8 @@ func (h *Heap) less(a, b Item) bool {
 }
 
 // Push inserts an item.
+//
+//lint:hotpath
 func (h *Heap) Push(it Item) {
 	h.items = append(h.items, it)
 	if len(h.items) > h.maxLen {
@@ -74,6 +76,8 @@ func (h *Heap) Push(it Item) {
 // engine's mailbox layer delivers outbox flushes through this path so the
 // queue lock is held for one amortized operation instead of len(its) calls.
 // The input slice is consumed before PushBatch returns; callers may reuse it.
+//
+//lint:hotpath
 func (h *Heap) PushBatch(its []Item) {
 	h.items = append(h.items, its...)
 	if len(h.items) > h.maxLen {
@@ -97,6 +101,8 @@ func (h *Heap) siftUp(i int) {
 
 // Pop removes and returns the minimum item. ok is false when the heap is
 // empty.
+//
+//lint:hotpath
 func (h *Heap) Pop() (it Item, ok bool) {
 	n := len(h.items)
 	if n == 0 {
@@ -113,6 +119,8 @@ func (h *Heap) Pop() (it Item, ok bool) {
 // the extended slice. The sequence is exactly what k successive Pop calls
 // would produce, so the engine's pop-window path keeps heap order. Fewer than
 // k items are returned when the heap drains first.
+//
+//lint:hotpath
 func (h *Heap) PopBatch(dst []Item, k int) []Item {
 	for i := 0; i < k; i++ {
 		it, ok := h.Pop()

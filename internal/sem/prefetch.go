@@ -105,13 +105,18 @@ type Prefetcher struct {
 	abandoned atomic.Uint64
 }
 
+// normalize clamps the prefetch knobs to their working ranges.
+func (c *PrefetchConfig) normalize() {
+	if c.IOWorkers <= 0 {
+		c.IOWorkers = DefaultPrefetchIOWorkers
+	}
+	if c.MaxGap < 0 {
+		c.MaxGap = 0
+	}
+}
+
 func newPrefetcher(cfg PrefetchConfig) *Prefetcher {
-	if cfg.IOWorkers <= 0 {
-		cfg.IOWorkers = DefaultPrefetchIOWorkers
-	}
-	if cfg.MaxGap < 0 {
-		cfg.MaxGap = 0
-	}
+	cfg.normalize()
 	return &Prefetcher{cfg: cfg, sem: make(chan struct{}, cfg.IOWorkers)}
 }
 
@@ -169,6 +174,8 @@ type prefetchSession struct {
 // window, in which case the caller reads synchronously. A span read error is
 // surfaced to the consumer, consistent with the synchronous path's failure
 // policy (no silent retry).
+//
+//lint:hotpath
 func (s *prefetchSession) take(v uint64) (block []byte, err error, prefetched bool) {
 	for i := range s.entries {
 		e := &s.entries[i]
@@ -187,6 +194,8 @@ func (s *prefetchSession) take(v uint64) (block []byte, err error, prefetched bo
 }
 
 // read services one span on the bounded I/O pool.
+//
+//lint:hotpath
 func (p *Prefetcher) read(store Store, sp *span) {
 	p.sem <- struct{}{}
 	_, err := store.ReadAt(sp.buf, sp.off)

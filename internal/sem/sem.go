@@ -217,6 +217,8 @@ func (g *Graph[V]) EdgeBytes() int64 { return int64(g.m) * int64(g.recSize) }
 // decodeRecords decodes len(targets) consecutive edge records from block into
 // targets and, when non-nil, weights. block must hold at least
 // len(targets)*recSize bytes.
+//
+//lint:hotpath
 func (g *Graph[V]) decodeRecords(block []byte, targets []V, weights []graph.Weight) {
 	for i := range targets {
 		rec := block[i*g.recSize:]
@@ -233,6 +235,8 @@ func (g *Graph[V]) decodeRecords(block []byte, targets []V, weights []graph.Weig
 
 // decodeInto decodes deg records from block through the scratch buffers,
 // returning slices valid until the next call with the same scratch.
+//
+//lint:hotpath
 func (g *Graph[V]) decodeInto(block []byte, deg int, scratch *graph.Scratch[V]) ([]V, []graph.Weight) {
 	if cap(scratch.Targets) < deg {
 		scratch.Targets = make([]V, deg)

@@ -92,6 +92,9 @@ func (c *Config) normalize() {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 64
 	}
+	// The engine config's Context never applies here: runQuery installs a
+	// per-query context derived from the request deadline.
+	c.Engine.Context = nil
 }
 
 // Graph is one read-only store served by the Server. Adj must be safe for
