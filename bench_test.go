@@ -60,6 +60,8 @@ var benchGraphs struct {
 	semFile    []byte // directed graph serialized for SEM runs
 	semFileU   []byte // undirected graph serialized for SEM CC runs
 	semFileW   []byte // weighted (UW) graph serialized for SEM SSSP runs
+	semFileC   []byte // directed graph in the compressed (v2) SEM format
+	semFileWC  []byte // weighted (UW) graph in the compressed (v2) SEM format
 }
 
 func graphs(tb testing.TB) *struct {
@@ -74,6 +76,8 @@ func graphs(tb testing.TB) *struct {
 	semFile    []byte
 	semFileU   []byte
 	semFileW   []byte
+	semFileC   []byte
+	semFileWC  []byte
 } {
 	benchGraphs.once.Do(func() {
 		must := func(err error) {
@@ -108,6 +112,12 @@ func graphs(tb testing.TB) *struct {
 		buf.Reset()
 		must(sem.WriteCSR(&buf, benchGraphs.weightedUW))
 		benchGraphs.semFileW = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		must(sem.WriteCSRCompressed(&buf, benchGraphs.directed))
+		benchGraphs.semFileC = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		must(sem.WriteCSRCompressed(&buf, benchGraphs.weightedUW))
+		benchGraphs.semFileWC = append([]byte(nil), buf.Bytes()...)
 	})
 	return &benchGraphs
 }
@@ -357,25 +367,28 @@ func semMountRaw(b *testing.B, file []byte, p ssd.Profile, window int) (*sem.Gra
 }
 
 // BenchmarkSEMTraversal measures the asynchronous SEM I/O pipeline: BFS and
-// SSSP per flash profile with the pop-window prefetcher off (the historical
-// one-read-per-visit path) and on. With the device cold and uncached, the
-// prefetch win is the coalescing rate: v/span vertices serviced per device
-// read, each span paying one latency term instead of v/span of them.
+// SSSP per flash profile and per on-flash edge format (raw v1 records vs
+// delta+varint compressed v2 blocks), with the pop-window prefetcher off (the
+// historical one-read-per-visit path) and on. With the device cold and
+// uncached, the prefetch win is the coalescing rate — v/span vertices
+// serviced per device read, each span paying one latency term instead of
+// v/span of them — and the compression win is devB/edge: traversal bytes read
+// from the device per graph edge (index reads at mount time excluded).
 func BenchmarkSEMTraversal(b *testing.B) {
 	gs := graphs(b)
 	const window = 16
 	algos := []struct {
-		name string
-		file []byte
-		run  func(sg *sem.Graph[uint32], prefetch int) error
+		name      string
+		raw, comp []byte
+		run       func(sg *sem.Graph[uint32], prefetch int) error
 	}{
-		{"BFS", gs.semFile, func(sg *sem.Graph[uint32], prefetch int) error {
+		{"BFS", gs.semFile, gs.semFileC, func(sg *sem.Graph[uint32], prefetch int) error {
 			_, err := core.BFS[uint32](sg, gs.src, core.Config{
 				Workers: 128, SemiSort: true, Prefetch: prefetch,
 			})
 			return err
 		}},
-		{"SSSP", gs.semFileW, func(sg *sem.Graph[uint32], prefetch int) error {
+		{"SSSP", gs.semFileW, gs.semFileWC, func(sg *sem.Graph[uint32], prefetch int) error {
 			_, err := core.SSSP[uint32](sg, gs.src, core.Config{
 				Workers: 128, SemiSort: true, Prefetch: prefetch,
 			})
@@ -383,30 +396,39 @@ func BenchmarkSEMTraversal(b *testing.B) {
 		}},
 	}
 	for _, a := range algos {
-		for _, p := range ssd.Profiles {
-			for _, prefetch := range []int{0, window} {
-				mode := "off"
-				if prefetch > 1 {
-					mode = fmt.Sprintf("window%d", prefetch)
-				}
-				b.Run(fmt.Sprintf("%s/%s/%s", a.name, p.Name, mode), func(b *testing.B) {
-					var reads, spans, verts uint64
-					for i := 0; i < b.N; i++ {
-						sg, dev := semMountRaw(b, a.file, p, prefetch)
-						if err := a.run(sg, prefetch); err != nil {
-							b.Fatal(err)
+		for _, fm := range []struct {
+			name string
+			file []byte
+		}{{"raw", a.raw}, {"compressed", a.comp}} {
+			for _, p := range ssd.Profiles {
+				for _, prefetch := range []int{0, window} {
+					mode := "off"
+					if prefetch > 1 {
+						mode = fmt.Sprintf("window%d", prefetch)
+					}
+					b.Run(fmt.Sprintf("%s/%s/%s/%s", a.name, fm.name, p.Name, mode), func(b *testing.B) {
+						var reads, devBytes, spans, verts uint64
+						for i := 0; i < b.N; i++ {
+							sg, dev := semMountRaw(b, fm.file, p, prefetch)
+							mounted := dev.Stats().BytesRead
+							if err := a.run(sg, prefetch); err != nil {
+								b.Fatal(err)
+							}
+							reads += dev.Stats().Reads
+							devBytes += dev.Stats().BytesRead - mounted
+							ps := sg.PrefetchStats()
+							spans += ps.Spans
+							verts += ps.Vertices
 						}
-						reads += dev.Stats().Reads
-						ps := sg.PrefetchStats()
-						spans += ps.Spans
-						verts += ps.Vertices
-					}
-					edgesPerSec(b, gs.directed.NumEdges())
-					b.ReportMetric(float64(reads)/float64(b.N), "devReads/op")
-					if spans > 0 {
-						b.ReportMetric(float64(verts)/float64(spans), "v/span")
-					}
-				})
+						edges := gs.directed.NumEdges()
+						edgesPerSec(b, edges)
+						b.ReportMetric(float64(reads)/float64(b.N), "devReads/op")
+						b.ReportMetric(float64(devBytes)/float64(b.N)/float64(edges), "devB/edge")
+						if spans > 0 {
+							b.ReportMetric(float64(verts)/float64(spans), "v/span")
+						}
+					})
+				}
 			}
 		}
 	}

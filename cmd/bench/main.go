@@ -29,6 +29,7 @@ func main() {
 		degree    = flag.Int("degree", 0, "average out-degree (default 16)")
 		seed      = flag.Uint64("seed", 0, "workload seed (default 42)")
 		memModel  = flag.Bool("memmodel", true, "apply the DRAM-latency model to in-memory runs")
+		compress  = flag.Bool("compress", false, "mount SEM tables on the delta+varint compressed (v2) edge format")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		o.Seed = *seed
 	}
 	o.MemModel = *memModel
+	o.Compressed = *compress
 
 	start := time.Now()
 	tables, err := run(*exp, o)

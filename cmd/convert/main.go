@@ -7,6 +7,7 @@
 //	convert -in trace.txt -out trace.asg                 # text -> binary
 //	convert -in graph.asg -out graph.txt -to edgelist    # binary -> text
 //	convert -in trace.txt -out und.asg -symmetrize       # make undirected
+//	convert -in graph.asg -out graph.casg -compress      # raw -> compressed v2
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		to         = flag.String("to", "asg", "output format: asg (binary) or edgelist (text)")
 		minVerts   = flag.Uint64("minverts", 0, "minimum vertex count for edge-list input")
 		symmetrize = flag.Bool("symmetrize", false, "add reverse edges (undirected output)")
+		compress   = flag.Bool("compress", false, "write asg output in the delta+varint compressed (v2) edge format")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -36,13 +38,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *to, *minVerts, *symmetrize); err != nil {
+	if err := run(*in, *out, *to, *minVerts, *symmetrize, *compress); err != nil {
 		fmt.Fprintf(os.Stderr, "convert: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, to string, minVerts uint64, symmetrize bool) error {
+func run(in, out, to string, minVerts uint64, symmetrize, compress bool) error {
+	if compress && to != "asg" {
+		return fmt.Errorf("-compress only applies to -to asg output")
+	}
 	g, err := load(in, minVerts)
 	if err != nil {
 		return err
@@ -65,7 +70,11 @@ func run(in, out, to string, minVerts uint64, symmetrize bool) error {
 	w := bufio.NewWriterSize(f, 1<<20)
 	switch to {
 	case "asg":
-		err = sem.WriteCSR(w, g)
+		if compress {
+			err = sem.WriteCSRCompressed(w, g)
+		} else {
+			err = sem.WriteCSR(w, g)
+		}
 	case "edgelist":
 		err = graph.WriteEdgeList(w, g)
 	default:

@@ -135,8 +135,16 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		if prefetch > 1 {
 			sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
 		}
-		fmt.Printf("semi-external: %d vertices, %d edges, %d edge bytes on %s\n",
-			sg.NumVertices(), sg.NumEdges(), sg.EdgeBytes(), p.Name)
+		format := "raw"
+		if sg.Compressed() {
+			format = "compressed"
+		}
+		bpe := 0.0
+		if sg.NumEdges() > 0 {
+			bpe = float64(sg.EdgeBytes()) / float64(sg.NumEdges())
+		}
+		fmt.Printf("semi-external: %d vertices, %d edges, %d edge bytes (%s, %.2f B/edge) on %s\n",
+			sg.NumVertices(), sg.NumEdges(), sg.EdgeBytes(), format, bpe, p.Name)
 		adj = sg
 	} else {
 		im, err = sem.LoadCSR[uint32](backing)

@@ -200,8 +200,10 @@ type Ctx[V graph.Vertex] struct {
 	Worker  int
 	Scratch *graph.Scratch[V]
 	out     *outbox // nil when batching is disabled (Batch == 1)
-	visits  uint64
-	pushes  uint64
+	// stats points at this worker's padded counter cell in the resource set
+	// (engineRes.stats); the cell, not the Ctx, is what retire folds into the
+	// engine totals.
+	stats *workerStats
 }
 
 // Push queues a visitor for vertex v with the given priority and payload.
@@ -211,7 +213,7 @@ type Ctx[V graph.Vertex] struct {
 //
 //lint:hotpath
 func (c *Ctx[V]) Push(pri uint64, v V, aux uint64) {
-	c.pushes++
+	c.stats.pushes++
 	e := c.engine
 	e.term.Start()
 	owner := e.owner(uint64(v))
@@ -469,15 +471,15 @@ func (e *Engine[V]) Abort(err error) {
 // retire folds a finished worker's local counters into the engine totals.
 // Deferred (as a bound method call, not a closure) by the worker loops.
 func (e *Engine[V]) retire(ctx *Ctx[V], id int) {
-	e.visits.Add(ctx.visits)
-	e.pushes.Add(ctx.pushes)
-	e.workerVisits[id] = ctx.visits
+	e.visits.Add(ctx.stats.visits)
+	e.pushes.Add(ctx.stats.pushes)
+	e.workerVisits[id] = ctx.stats.visits
 	e.wg.Done()
 }
 
 //lint:hotpath
 func (e *Engine[V]) worker(id int) {
-	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: e.res.scratch[id]}
+	ctx := &Ctx[V]{engine: e, Worker: id, Scratch: e.res.scratch[id], stats: &e.res.stats[id]}
 	if e.res.outs != nil {
 		ctx.out = e.res.outs[id]
 	}
@@ -508,7 +510,7 @@ func (e *Engine[V]) worker(id int) {
 				invariant.Failf("owner rule: visitor for vertex %d (owner %d) popped by worker %d", it.V, o, id)
 			}
 		}
-		ctx.visits++
+		ctx.stats.visits++
 		if err := e.visit(ctx, it); err != nil {
 			e.fail(err)
 		}
@@ -556,7 +558,7 @@ func (e *Engine[V]) workerWindowed(id int, ctx *Ctx[V]) {
 		}
 		for _, it := range window {
 			if !e.aborted.Load() {
-				ctx.visits++
+				ctx.stats.visits++
 				if err := e.visit(ctx, it); err != nil {
 					e.fail(err)
 				}

@@ -98,12 +98,14 @@ func TestKernelIMAndSEMMatchSerialBaselines(t *testing.T) {
 // TestCrossQueueEquivalence is the cross-queue property test: on random RMAT
 // and Erdős–Rényi graphs, BFS labels must be identical across every queue
 // discipline — binary heap vs bucket queue, semi-sort on or off, batched
-// mailboxes or lock-per-push. The label-correcting kernel guarantees the
-// final labels are independent of visit order.
+// mailboxes or lock-per-push — and across the raw and compressed adjacency
+// back ends. The label-correcting kernel guarantees the final labels are
+// independent of visit order, and the compressed CSR must present exactly the
+// raw graph's adjacency.
 func TestCrossQueueEquivalence(t *testing.T) {
 	type workload struct {
 		name string
-		g    *graph.CSR[uint32]
+		g    graph.Adjacency[uint32]
 	}
 	var workloads []workload
 	for seed := uint64(1); seed <= 3; seed++ {
@@ -111,12 +113,24 @@ func TestCrossQueueEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		workloads = append(workloads, workload{fmt.Sprintf("rmat-%d", seed), rm})
+		crm, err := graph.Compress(rm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads,
+			workload{fmt.Sprintf("rmat-%d", seed), rm},
+			workload{fmt.Sprintf("rmat-%d-compressed", seed), crm})
 		er, err := gen.ErdosRenyi[uint32](300, 1800, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		workloads = append(workloads, workload{fmt.Sprintf("er-%d", seed), er})
+		cer, err := graph.Compress(er)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads,
+			workload{fmt.Sprintf("er-%d", seed), er},
+			workload{fmt.Sprintf("er-%d-compressed", seed), cer})
 	}
 	variants := []struct {
 		name string
@@ -129,23 +143,25 @@ func TestCrossQueueEquivalence(t *testing.T) {
 		{"bucket-direct", Config{Workers: 6, Queue: QueueBucket, Batch: 1}},
 	}
 	for _, w := range workloads {
-		src := uint32(0)
-		want, err := baseline.SerialBFS[uint32](w.g, src)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, variant := range variants {
-			res, err := BFS[uint32](w.g, src, variant.cfg)
+		t.Run(w.name, func(t *testing.T) {
+			src := uint32(0)
+			want, err := baseline.SerialBFS[uint32](w.g, src)
 			if err != nil {
-				t.Fatalf("%s/%s: %v", w.name, variant.name, err)
+				t.Fatal(err)
 			}
-			for v := range want {
-				if res.Level[v] != want[v] {
-					t.Fatalf("%s/%s: level[%d] = %d, want %d",
-						w.name, variant.name, v, res.Level[v], want[v])
+			for _, variant := range variants {
+				res, err := BFS[uint32](w.g, src, variant.cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", variant.name, err)
+				}
+				for v := range want {
+					if res.Level[v] != want[v] {
+						t.Fatalf("%s: level[%d] = %d, want %d",
+							variant.name, v, res.Level[v], want[v])
+					}
 				}
 			}
-		}
+		})
 	}
 }
 

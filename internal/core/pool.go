@@ -21,9 +21,20 @@ import (
 // visitor queues (mailboxes), the batching outboxes, and the adjacency
 // scratch buffers. A resource set is built for one normalized Config and may
 // only be reused under the same Workers/Queue/Batch settings.
+// workerStats is one worker's hot visit/push counters. The cells live in one
+// contiguous array (engineRes.stats), so without padding adjacent workers'
+// counters would share cache lines and every increment would ping-pong the
+// line between cores; the pad gives each worker a 64-byte line of its own.
+type workerStats struct {
+	visits uint64
+	pushes uint64
+	_      [48]byte
+}
+
 type engineRes[V graph.Vertex] struct {
 	queues  []*workQueue
 	scratch []*graph.Scratch[V]
+	stats   []workerStats
 	outs    []*outbox // nil when batching is disabled (Batch == 1)
 
 	// pooled marks a set currently sitting on the free list. Only consulted
@@ -38,6 +49,7 @@ func newEngineRes[V graph.Vertex](cfg Config) *engineRes[V] {
 	r := &engineRes[V]{
 		queues:  make([]*workQueue, cfg.Workers),
 		scratch: make([]*graph.Scratch[V], cfg.Workers),
+		stats:   make([]workerStats, cfg.Workers),
 	}
 	for i := range r.queues {
 		q := &workQueue{heap: cfg.newQueue()}
@@ -71,6 +83,9 @@ func (r *engineRes[V]) reset() {
 	}
 	for _, s := range r.scratch {
 		s.Prefetch = nil
+	}
+	for i := range r.stats {
+		r.stats[i] = workerStats{} // counters belong to the finished traversal
 	}
 	if invariant.Enabled {
 		r.assertPristine()

@@ -23,11 +23,18 @@ import (
 // protocol is independent of the queueing discipline.
 type Terminator struct {
 	// outstanding counts queued-or-executing visitors plus the init token.
+	// Every Start and Finish from every worker hits this cell, making it the
+	// hottest word in the engine; the pads give it (and peak) a cache line
+	// each, so Finish's decrement — which never touches peak — does not drag
+	// the CAS loop's line along, and neither cell false-shares with whatever
+	// the allocator places next to the Terminator.
 	outstanding atomic.Int64
+	_           [56]byte
 	// peak is a monotone high-water mark of outstanding, maintained with a
 	// CompareAndSwap loop so concurrent pushes can never overwrite a larger
 	// observed peak with a smaller one.
 	peak atomic.Int64
+	_    [56]byte
 }
 
 // NewTerminator returns a Terminator holding the init token.

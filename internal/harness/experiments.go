@@ -53,6 +53,11 @@ type Options struct {
 	// PrefetchGap is the span-coalescing slack in bytes
 	// (sem.PrefetchConfig.MaxGap); only meaningful when Prefetch > 1.
 	PrefetchGap int
+	// Compressed mounts the semi-external tables on the delta+varint
+	// compressed (v2) on-flash format instead of raw fixed records, cutting
+	// device bytes per traversed edge; Table IV/V's B/edge column shows the
+	// achieved density.
+	Compressed bool
 	// Fig1Threads and Fig1Duration control the IOPS sweep.
 	Fig1Threads  []int
 	Fig1Duration time.Duration
@@ -82,6 +87,14 @@ func Defaults() Options {
 		Fig1Threads:  []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
 		Fig1Duration: 200 * time.Millisecond,
 	}
+}
+
+// edgeFormat names the on-flash edge layout the SEM tables mount.
+func (o *Options) edgeFormat() string {
+	if o.Compressed {
+		return "compressed"
+	}
+	return "raw"
 }
 
 func (o *Options) logf(format string, args ...any) {

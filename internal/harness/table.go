@@ -72,6 +72,15 @@ func Seconds(d time.Duration) string {
 	return fmt.Sprintf("%.3f", d.Seconds())
 }
 
+// BytesPerEdge formats an edge-density cell: on-device edge bytes divided by
+// edge count (8.00 for raw weighted records, 1-4 for compressed blocks).
+func BytesPerEdge(edgeBytes int64, m uint64) string {
+	if m == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(edgeBytes)/float64(m))
+}
+
 // Ratio formats a speedup/scaling cell.
 func Ratio(num, den time.Duration) string {
 	if den <= 0 {

@@ -189,12 +189,19 @@ func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(sg *sem.Gr
 	return best, bestIO, nil
 }
 
-// semGraph serializes g into the SEM format and mounts it on a simulated
-// flash device of the given profile behind the block cache, enabling the
-// prefetch pipeline when o.Prefetch asks for it.
+// semGraph serializes g into the SEM format (raw v1 records, or compressed v2
+// blocks under o.Compressed) and mounts it on a simulated flash device of the
+// given profile behind the block cache, enabling the prefetch pipeline when
+// o.Prefetch asks for it.
 func semGraph(o Options, g *graph.CSR[uint32], p ssd.Profile) (*sem.Graph[uint32], *ssd.Device, *sem.CachedStore, error) {
 	var buf bytes.Buffer
-	if err := sem.WriteCSR(&buf, g); err != nil {
+	var err error
+	if o.Compressed {
+		err = sem.WriteCSRCompressed(&buf, g)
+	} else {
+		err = sem.WriteCSR(&buf, g)
+	}
+	if err != nil {
 		return nil, nil, nil, err
 	}
 	dev := ssd.New(p, &ssd.MemBacking{Data: buf.Bytes()})
@@ -226,9 +233,9 @@ func semGraph(o Options, g *graph.CSR[uint32], p ssd.Profile) (*sem.Graph[uint32
 func Table4(o Options) (*Table, error) {
 	t := &Table{
 		Title: "Table IV: Semi-External Memory Breadth First Search",
-		Note: fmt.Sprintf("SEM threads=%d, cache=edges/%d, 4 KiB blocks; speedups vs In-Memory serial BGL",
-			o.SEMThreads, o.CacheFrac),
-		Cols: []string{"graph", "verts", "EM bytes", "IM BGL(s)"},
+		Note: fmt.Sprintf("SEM threads=%d, cache=edges/%d, 4 KiB blocks, edge format=%s; speedups vs In-Memory serial BGL",
+			o.SEMThreads, o.CacheFrac, o.edgeFormat()),
+		Cols: []string{"graph", "verts", "EM bytes", "B/edge", "IM BGL(s)"},
 	}
 	for _, p := range ssd.Profiles {
 		t.Cols = append(t.Cols, p.Name+"(s)", "spd")
@@ -252,12 +259,13 @@ func Table4(o Options) (*Table, error) {
 
 			row := []string{
 				fmt.Sprintf("%s 2^%d", variant.Name, scale),
-				fmt.Sprintf("%d", g.NumVertices()), "", Seconds(bglTime),
+				fmt.Sprintf("%d", g.NumVertices()), "", "", Seconds(bglTime),
 			}
 			var devReads uint64
 			for _, p := range ssd.Profiles {
 				dur, io, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
 					row[2] = fmt.Sprintf("%d", sg.EdgeBytes())
+					row[3] = BytesPerEdge(sg.EdgeBytes(), sg.NumEdges())
 					_, err := core.BFS[uint32](sg, src, core.Config{
 						Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
 					})
@@ -296,9 +304,9 @@ func Table4(o Options) (*Table, error) {
 func Table5(o Options) (*Table, error) {
 	t := &Table{
 		Title: "Table V: Semi-External Memory Connected Components",
-		Note: fmt.Sprintf("SEM threads=%d, cache=edges/%d, 4 KiB blocks; speedups vs In-Memory serial BGL",
-			o.SEMThreads, o.CacheFrac),
-		Cols: []string{"graph", "verts", "EM bytes", "IM BGL(s)"},
+		Note: fmt.Sprintf("SEM threads=%d, cache=edges/%d, 4 KiB blocks, edge format=%s; speedups vs In-Memory serial BGL",
+			o.SEMThreads, o.CacheFrac, o.edgeFormat()),
+		Cols: []string{"graph", "verts", "EM bytes", "B/edge", "IM BGL(s)"},
 	}
 	for _, p := range ssd.Profiles {
 		t.Cols = append(t.Cols, p.Name+"(s)", "spd")
@@ -329,10 +337,11 @@ func Table5(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := []string{in.Name, fmt.Sprintf("%d", g.NumVertices()), "", Seconds(bglTime)}
+		row := []string{in.Name, fmt.Sprintf("%d", g.NumVertices()), "", "", Seconds(bglTime)}
 		for _, p := range ssd.Profiles {
 			dur, _, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
 				row[2] = fmt.Sprintf("%d", sg.EdgeBytes())
+				row[3] = BytesPerEdge(sg.EdgeBytes(), sg.NumEdges())
 				_, err := core.CC[uint32](sg, core.Config{
 					Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
 				})

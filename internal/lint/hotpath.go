@@ -19,12 +19,19 @@ import (
 //   - map allocation: make(map...) or a map composite literal;
 //   - function literals: a closure capturing variables escapes them to the
 //     heap (including the append-into-captured-slice pattern); hoist it to a
-//     named method as Engine.retire and kernelState.visit are.
+//     named method as Engine.retire and kernelState.visit are;
+//   - append growth inside a loop when the function never hints the slice's
+//     capacity: each time append outgrows the backing array it reallocates
+//     and copies, so a decode or batch loop pays O(n log n) copying and
+//     allocator traffic that a single sized make (or a cap() pre-grow check,
+//     as Heap.PopBatch does) would eliminate. A slice is considered hinted
+//     when the function assigns it a make with an explicit capacity or
+//     consults cap() on it.
 const hotpathName = "hotpath"
 
 var Hotpath = &Analyzer{
 	Name: hotpathName,
-	Doc:  "no fmt, time.Now, map allocation, or closures in //lint:hotpath functions",
+	Doc:  "no fmt, time.Now, map allocation, closures, or uncapped append growth in //lint:hotpath functions",
 	Run:  runHotpath,
 }
 
@@ -96,7 +103,110 @@ func runHotpath(p *Package) []Diagnostic {
 				}
 				return true
 			})
+			for _, d := range appendGrowth(p, fn) {
+				flag(d, name, "append growth in a loop without a capacity hint (sized make or cap() pre-grow)")
+			}
 		}
 	}
 	return diags
+}
+
+// sliceObj resolves the slice variable an append or cap expression refers to:
+// the object of a plain identifier or of a selector's field. Nil for anything
+// more elaborate (index expressions etc.), which the growth rule then skips.
+func sliceObj(p *Package, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := p.Info.Uses[x]; o != nil {
+			return o
+		}
+		return p.Info.Defs[x]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin (shadowed
+// identifiers resolve to a non-Builtin object and are excluded).
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// appendGrowth returns the append calls inside fn's loops whose destination
+// slice the function never capacity-hints.
+func appendGrowth(p *Package, fn *ast.FuncDecl) []ast.Node {
+	// Pass 1: collect hinted slices — assigned from a make with an explicit
+	// capacity argument, or measured with cap() anywhere in the function (the
+	// pre-grow idiom checks cap before the loop).
+	hinted := make(map[types.Object]bool)
+	hint := func(e ast.Expr) {
+		if o := sliceObj(p, e); o != nil {
+			hinted[o] = true
+		}
+	}
+	sizedMake := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		return ok && isBuiltin(p, call, "make") && len(call.Args) >= 3
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(p, node, "cap") && len(node.Args) == 1 {
+				hint(node.Args[0])
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i < len(node.Lhs) && sizedMake(rhs) {
+					hint(node.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range node.Values {
+				if i < len(node.Names) && sizedMake(rhs) {
+					hint(node.Names[i])
+				}
+			}
+		}
+		return true
+	})
+	// Pass 2: flag unhinted appends lexically inside a loop. flagged dedupes
+	// the appends nested loops would otherwise report once per level.
+	var bad []ast.Node
+	flagged := make(map[ast.Node]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		case *ast.FuncLit:
+			return false // closures are flagged (and skipped) wholesale above
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call, "append") || len(call.Args) == 0 || flagged[call] {
+				return true
+			}
+			if o := sliceObj(p, call.Args[0]); o != nil && hinted[o] {
+				return true
+			}
+			flagged[call] = true
+			bad = append(bad, call)
+			return true
+		})
+		return true
+	})
+	return bad
 }

@@ -93,6 +93,7 @@ func TestHotpath(t *testing.T) {
 		"hot.go:12": "map allocation (make)",
 		"hot.go:13": "map allocation (composite literal)",
 		"hot.go:14": "closure allocation",
+		"hot.go:47": "append growth in a loop without a capacity hint",
 	})
 }
 

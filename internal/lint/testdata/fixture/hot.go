@@ -38,3 +38,48 @@ func hotClean(labels []uint64, v uint64) {
 	buf = append(buf, v)
 	labels[v] = buf[0]
 }
+
+//lint:hotpath
+func hotGrow(vs []uint64) []uint64 {
+	var out []uint64
+	out = append(out, 0) // fine: not in a loop
+	for _, v := range vs {
+		out = append(out, v) // violation: uncapped growth per iteration
+	}
+	return out
+}
+
+// hotGrowHinted sizes the destination up front; the same loop stays quiet.
+//
+//lint:hotpath
+func hotGrowHinted(vs []uint64) []uint64 {
+	out := make([]uint64, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// hotGrowPregrown uses the cap() pre-grow idiom on a caller-owned slice.
+//
+//lint:hotpath
+func hotGrowPregrown(dst, vs []uint64) []uint64 {
+	if cap(dst)-len(dst) < len(vs) {
+		grown := make([]uint64, len(dst), len(dst)+len(vs))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, v := range vs {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// coldGrow grows in a loop without the annotation: no diagnostics.
+func coldGrow(vs []uint64) []uint64 {
+	var out []uint64
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}

@@ -120,14 +120,29 @@ func (h *Heap) Pop() (it Item, ok bool) {
 // would produce, so the engine's pop-window path keeps heap order. Fewer than
 // k items are returned when the heap drains first.
 //
+// dst is grown to its final size in one reallocation up front, and each
+// extraction sifts in place; the queue lock the caller holds covers k
+// root-removals and at most one allocation, never k append growth steps.
+//
 //lint:hotpath
 func (h *Heap) PopBatch(dst []Item, k int) []Item {
+	if k > len(h.items) {
+		k = len(h.items)
+	}
+	if k <= 0 {
+		return dst
+	}
+	if free := cap(dst) - len(dst); free < k {
+		grown := make([]Item, len(dst), len(dst)+k)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := 0; i < k; i++ {
-		it, ok := h.Pop()
-		if !ok {
-			break
-		}
-		dst = append(dst, it)
+		n := len(h.items)
+		dst = append(dst, h.items[0])
+		h.items[0] = h.items[n-1]
+		h.items = h.items[:n-1]
+		h.siftDown(0)
 	}
 	return dst
 }

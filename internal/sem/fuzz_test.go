@@ -32,6 +32,19 @@ func FuzzOpen(f *testing.F) {
 	mutated[16] = 0xFF // corrupt the vertex count
 	f.Add(mutated)
 
+	// Seed the compressed (v2) layout the same way so the fuzzer explores the
+	// block-index and degree-array validation paths too.
+	var cbuf bytes.Buffer
+	if err := WriteCSRCompressed(&cbuf, g); err != nil {
+		f.Fatal(err)
+	}
+	validV2 := cbuf.Bytes()
+	f.Add(validV2)
+	f.Add(validV2[:len(validV2)/2])
+	mutatedV2 := append([]byte(nil), validV2...)
+	mutatedV2[headerSize+8*21] = 0xFF // corrupt a degree-array byte
+	f.Add(mutatedV2)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		store := &ssd.MemBacking{Data: data}
 		sg, err := Open[uint32](store)

@@ -246,15 +246,13 @@ func (g *Graph[V]) NeighborsBatch(vs []V, scratch *graph.Scratch[V]) {
 
 	exts := sess.exts[:0]
 	for _, v := range vs {
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		if lo == hi {
+		// The extent is a record span on v1 stores and a compressed block on
+		// v2 — the coalescing and zero-copy handoff below are format-blind.
+		off, n := g.extentOf(v)
+		if n == 0 {
 			continue
 		}
-		exts = append(exts, extent{
-			v:   uint64(v),
-			off: g.edgeBase + int64(lo)*int64(g.recSize),
-			n:   int(hi-lo) * g.recSize,
-		})
+		exts = append(exts, extent{v: uint64(v), off: off, n: n})
 	}
 	sess.exts = exts
 	if len(exts) == 0 {
