@@ -366,6 +366,52 @@ func semMountRaw(b *testing.B, file []byte, p ssd.Profile, window int) (*sem.Gra
 	return sg, dev
 }
 
+// shardFiles serializes g as a `shards`-way partition, one byte slice per
+// member, in the requested on-flash format.
+func shardFiles(b *testing.B, g *graph.CSR[uint32], shards int, compressed bool) [][]byte {
+	b.Helper()
+	files := make([][]byte, shards)
+	for k := range files {
+		var buf bytes.Buffer
+		var err error
+		cfg := sem.ShardConfig{Shard: k, Shards: shards}
+		if compressed {
+			err = sem.WriteCSRShardCompressed(&buf, g, cfg)
+		} else {
+			err = sem.WriteCSRShard(&buf, g, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		files[k] = append([]byte(nil), buf.Bytes()...)
+	}
+	return files
+}
+
+// semMountSharded mounts a shard set with each member directly on its own
+// simulated device (no block cache, matching semMountRaw's regime).
+func semMountSharded(b *testing.B, files [][]byte, p ssd.Profile, window int) (*graph.Sharded[uint32], []*ssd.Device) {
+	b.Helper()
+	devs := make([]*ssd.Device, len(files))
+	sgs := make([]*sem.Graph[uint32], len(files))
+	for k, f := range files {
+		devs[k] = ssd.New(p, &ssd.MemBacking{Data: f})
+		sg, err := sem.Open[uint32](devs[k])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if window > 1 {
+			sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: sem.DefaultPrefetchGap})
+		}
+		sgs[k] = sg
+	}
+	mounted, err := sem.MountShards(sgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mounted, devs
+}
+
 // BenchmarkSEMTraversal measures the asynchronous SEM I/O pipeline: BFS and
 // SSSP per flash profile and per on-flash edge format (raw v1 records vs
 // delta+varint compressed v2 blocks), with the pop-window prefetcher off (the
@@ -374,22 +420,30 @@ func semMountRaw(b *testing.B, file []byte, p ssd.Profile, window int) (*sem.Gra
 // serviced per device read, each span paying one latency term instead of
 // v/span of them — and the compression win is devB/edge: traversal bytes read
 // from the device per graph edge (index reads at mount time excluded).
+//
+// The shards dimension (FusionIO only, prefetch on) mounts the same graph as
+// a 2- or 4-way partition with one device per shard: per-shard read counts
+// make the pop-window fan-out visible (healthy mounts read near-evenly), and
+// devB/edge tracks the side cost of coalescing per shard — member files are
+// sparser (same id space, 1/N the edges), so span coalescing bridges
+// proportionally more discarded gap bytes.
 func BenchmarkSEMTraversal(b *testing.B) {
 	gs := graphs(b)
 	const window = 16
 	algos := []struct {
 		name      string
+		src       *graph.CSR[uint32]
 		raw, comp []byte
-		run       func(sg *sem.Graph[uint32], prefetch int) error
+		run       func(adj graph.Adjacency[uint32], prefetch int) error
 	}{
-		{"BFS", gs.semFile, gs.semFileC, func(sg *sem.Graph[uint32], prefetch int) error {
-			_, err := core.BFS[uint32](sg, gs.src, core.Config{
+		{"BFS", gs.directed, gs.semFile, gs.semFileC, func(adj graph.Adjacency[uint32], prefetch int) error {
+			_, err := core.BFS[uint32](adj, gs.src, core.Config{
 				Workers: 128, SemiSort: true, Prefetch: prefetch,
 			})
 			return err
 		}},
-		{"SSSP", gs.semFileW, gs.semFileWC, func(sg *sem.Graph[uint32], prefetch int) error {
-			_, err := core.SSSP[uint32](sg, gs.src, core.Config{
+		{"SSSP", gs.weightedUW, gs.semFileW, gs.semFileWC, func(adj graph.Adjacency[uint32], prefetch int) error {
+			_, err := core.SSSP[uint32](adj, gs.src, core.Config{
 				Workers: 128, SemiSort: true, Prefetch: prefetch,
 			})
 			return err
@@ -397,9 +451,10 @@ func BenchmarkSEMTraversal(b *testing.B) {
 	}
 	for _, a := range algos {
 		for _, fm := range []struct {
-			name string
-			file []byte
-		}{{"raw", a.raw}, {"compressed", a.comp}} {
+			name       string
+			file       []byte
+			compressed bool
+		}{{"raw", a.raw, false}, {"compressed", a.comp, true}} {
 			for _, p := range ssd.Profiles {
 				for _, prefetch := range []int{0, window} {
 					mode := "off"
@@ -429,6 +484,36 @@ func BenchmarkSEMTraversal(b *testing.B) {
 						}
 					})
 				}
+			}
+			for _, shards := range []int{2, 4} {
+				name := fmt.Sprintf("%s/%s/%s/window%d/shards=%d", a.name, fm.name, ssd.FusionIO.Name, window, shards)
+				b.Run(name, func(b *testing.B) {
+					files := shardFiles(b, a.src, shards, fm.compressed)
+					base := make([]uint64, shards)
+					perReads := make([]uint64, shards)
+					var devBytes uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						mounted, devs := semMountSharded(b, files, ssd.FusionIO, window)
+						for k, d := range devs {
+							base[k] = d.Stats().BytesRead
+						}
+						if err := a.run(mounted, window); err != nil {
+							b.Fatal(err)
+						}
+						for k, d := range devs {
+							st := d.Stats()
+							perReads[k] += st.Reads
+							devBytes += st.BytesRead - base[k]
+						}
+					}
+					edges := a.src.NumEdges()
+					edgesPerSec(b, edges)
+					b.ReportMetric(float64(devBytes)/float64(b.N)/float64(edges), "devB/edge")
+					for k, r := range perReads {
+						b.ReportMetric(float64(r)/float64(b.N), fmt.Sprintf("shard%dReads/op", k))
+					}
+				})
 			}
 		}
 	}

@@ -30,6 +30,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "workload seed (default 42)")
 		memModel  = flag.Bool("memmodel", true, "apply the DRAM-latency model to in-memory runs")
 		compress  = flag.Bool("compress", false, "mount SEM tables on the delta+varint compressed (v2) edge format")
+		shards    = flag.Int("shards", 1, "mount SEM tables as an N-way hash partition, one device per shard")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -60,6 +61,10 @@ func main() {
 	}
 	o.MemModel = *memModel
 	o.Compressed = *compress
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
+	o.Shards = *shards
 
 	start := time.Now()
 	tables, err := run(*exp, o)

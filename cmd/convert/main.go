@@ -8,6 +8,7 @@
 //	convert -in graph.asg -out graph.txt -to edgelist    # binary -> text
 //	convert -in trace.txt -out und.asg -symmetrize       # make undirected
 //	convert -in graph.asg -out graph.casg -compress      # raw -> compressed v2
+//	convert -in graph.asg -out g.asg -shards 4           # -> g.asg.shard0..3
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		minVerts   = flag.Uint64("minverts", 0, "minimum vertex count for edge-list input")
 		symmetrize = flag.Bool("symmetrize", false, "add reverse edges (undirected output)")
 		compress   = flag.Bool("compress", false, "write asg output in the delta+varint compressed (v2) edge format")
+		shards     = flag.Int("shards", 1, "hash-partition asg output into N shard files (out.shard0..N-1)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -38,15 +40,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *to, *minVerts, *symmetrize, *compress); err != nil {
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "convert: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *to, *minVerts, *symmetrize, *compress, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "convert: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, to string, minVerts uint64, symmetrize, compress bool) error {
+func run(in, out, to string, minVerts uint64, symmetrize, compress bool, shards int) error {
 	if compress && to != "asg" {
 		return fmt.Errorf("-compress only applies to -to asg output")
+	}
+	if shards > 1 && to != "asg" {
+		return fmt.Errorf("-shards only applies to -to asg output")
 	}
 	g, err := load(in, minVerts)
 	if err != nil {
@@ -63,24 +72,51 @@ func run(in, out, to string, minVerts uint64, symmetrize, compress bool) error {
 		}
 	}
 
-	f, err := os.Create(out)
+	if shards > 1 {
+		for k := 0; k < shards; k++ {
+			cfg := sem.ShardConfig{Shard: k, Shards: shards}
+			if err := writeFile(sem.ShardFileName(out, k), func(w io.Writer) error {
+				if compress {
+					return sem.WriteCSRShardCompressed(w, g, cfg)
+				}
+				return sem.WriteCSRShard(w, g, cfg)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s.shard0..%d: %d vertices, %d edges, weighted=%v\n",
+			out, shards-1, g.NumVertices(), g.NumEdges(), g.Weighted())
+		return nil
+	}
+	if err := writeFile(out, func(w io.Writer) error {
+		switch to {
+		case "asg":
+			if compress {
+				return sem.WriteCSRCompressed(w, g)
+			}
+			return sem.WriteCSR(w, g)
+		case "edgelist":
+			return graph.WriteEdgeList(w, g)
+		default:
+			return fmt.Errorf("unknown -to %q (want asg or edgelist)", to)
+		}
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges, weighted=%v\n",
+		out, g.NumVertices(), g.NumEdges(), g.Weighted())
+	return nil
+}
+
+// writeFile creates path and streams write's output through a buffered
+// writer, closing cleanly on every path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	switch to {
-	case "asg":
-		if compress {
-			err = sem.WriteCSRCompressed(w, g)
-		} else {
-			err = sem.WriteCSR(w, g)
-		}
-	case "edgelist":
-		err = graph.WriteEdgeList(w, g)
-	default:
-		err = fmt.Errorf("unknown -to %q (want asg or edgelist)", to)
-	}
-	if err != nil {
+	if err := write(w); err != nil {
 		_ = f.Close()
 		return err
 	}
@@ -88,12 +124,7 @@ func run(in, out, to string, minVerts uint64, symmetrize, compress bool) error {
 		_ = f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s: %d vertices, %d edges, weighted=%v\n",
-		out, g.NumVertices(), g.NumEdges(), g.Weighted())
-	return nil
+	return f.Close()
 }
 
 // load sniffs the input format: the binary header magic identifies .asg

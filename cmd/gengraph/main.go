@@ -8,12 +8,14 @@
 //	gengraph -type rmat-a -scale 14 -weights uw -out a14w.asg
 //	gengraph -type web -scale 15 -out web.asg
 //	gengraph -type chain -scale 12 -out chain.asg
+//	gengraph -type rmat-b -scale 16 -shards 4 -out b16.asg   # b16.asg.shard0..3
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math/bits"
 	"math/rand/v2"
 	"os"
@@ -36,6 +38,7 @@ func main() {
 		outOfCore  = flag.Bool("outofcore", false, "build through the external-sort pipeline (bounded memory)")
 		budget     = flag.Int("budget", 1<<20, "in-memory edge budget for -outofcore")
 		compress   = flag.Bool("compress", false, "write the delta+varint compressed (v2) edge format")
+		shards     = flag.Int("shards", 1, "hash-partition the graph into N shard files (out.shard0..N-1)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -43,18 +46,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*typ, *scale, *degree, *undirected, *weights, *seed, *out, *outOfCore, *budget, *compress); err != nil {
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "gengraph: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if err := run(*typ, *scale, *degree, *undirected, *weights, *seed, *out, *outOfCore, *budget, *compress, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(typ string, scale, degree int, undirected bool, weights string, seed uint64, out string, outOfCore bool, budget int, compress bool) error {
+func run(typ string, scale, degree int, undirected bool, weights string, seed uint64, out string, outOfCore bool, budget int, compress bool, shards int) error {
 	if outOfCore {
 		if compress {
 			// The external-sort builder streams fixed records straight to the
 			// file; block encoding needs the whole adjacency list of a vertex.
 			return fmt.Errorf("-compress does not combine with -outofcore; generate raw and convert -compress afterwards")
+		}
+		if shards > 1 {
+			// Hash partitioning permutes edges across files; the external-sort
+			// builder streams one sorted run and cannot scatter it.
+			return fmt.Errorf("-shards does not combine with -outofcore; generate raw and convert -shards afterwards")
 		}
 		return runOutOfCore(typ, scale, degree, undirected, weights, seed, out, budget)
 	}
@@ -76,17 +88,40 @@ func run(typ string, scale, degree int, undirected bool, weights string, seed ui
 		return fmt.Errorf("unknown -weights %q (want uw or luw)", weights)
 	}
 
-	f, err := os.Create(out)
+	format := "raw"
+	if compress {
+		format = "compressed"
+	}
+	if shards > 1 {
+		if err := writeShardFiles(out, g, compress, shards); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.shard0..%d (%s): %d vertices, %d edges, weighted=%v, undirected=%v\n",
+			out, shards-1, format, g.NumVertices(), g.NumEdges(), g.Weighted(), undirected)
+		return nil
+	}
+	if err := writeFile(out, func(w io.Writer) error {
+		if compress {
+			return sem.WriteCSRCompressed(w, g)
+		}
+		return sem.WriteCSR(w, g)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s): %d vertices, %d edges, weighted=%v, undirected=%v\n",
+		out, format, g.NumVertices(), g.NumEdges(), g.Weighted(), undirected)
+	return nil
+}
+
+// writeFile creates path and streams write's output through a buffered
+// writer, closing cleanly on every path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	if compress {
-		err = sem.WriteCSRCompressed(w, g)
-	} else {
-		err = sem.WriteCSR(w, g)
-	}
-	if err != nil {
+	if err := write(w); err != nil {
 		_ = f.Close()
 		return err
 	}
@@ -94,15 +129,23 @@ func run(typ string, scale, degree int, undirected bool, weights string, seed ui
 		_ = f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
+	return f.Close()
+}
+
+// writeShardFiles hash-partitions g into `shards` files named
+// base.shard0..N-1, each a complete ASG file with a shard map.
+func writeShardFiles(base string, g *graph.CSR[uint32], compress bool, shards int) error {
+	for k := 0; k < shards; k++ {
+		cfg := sem.ShardConfig{Shard: k, Shards: shards}
+		if err := writeFile(sem.ShardFileName(base, k), func(w io.Writer) error {
+			if compress {
+				return sem.WriteCSRShardCompressed(w, g, cfg)
+			}
+			return sem.WriteCSRShard(w, g, cfg)
+		}); err != nil {
+			return err
+		}
 	}
-	format := "raw"
-	if compress {
-		format = "compressed"
-	}
-	fmt.Printf("wrote %s (%s): %d vertices, %d edges, weighted=%v, undirected=%v\n",
-		out, format, g.NumVertices(), g.NumEdges(), g.Weighted(), undirected)
 	return nil
 }
 

@@ -3,10 +3,15 @@
 // or semi-external stores on a simulated flash device — and answers BFS /
 // SSSP / CC queries over HTTP (see internal/server).
 //
-// Each -graph flag loads one store. The spec is name=path[,sem[,profile]]:
+// Each -graph flag loads one store. The spec is
+// name=path[,sem[,profile]][,shards=N]:
 //
 //	serve -listen :8080 -graph rmat16=a16.asg
 //	serve -graph small=a14.asg -graph big=a22.asg,sem,FusionIO
+//	serve -graph big=b16.asg,sem,shards=4       # mounts b16.asg.shard0..3
+//
+// shards=0 (the default) auto-detects: a plain file mounts as is, otherwise
+// path.shard0.. are discovered and mounted as one sharded graph.
 //
 // Query it with:
 //
@@ -17,11 +22,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,38 +38,42 @@ import (
 	"repro/internal/ssd"
 )
 
-// graphSpec is one parsed -graph flag: name=path[,sem[,profile]].
+// graphSpec is one parsed -graph flag: name=path[,sem[,profile]][,shards=N].
 type graphSpec struct {
 	name    string
 	path    string
 	sem     bool
 	profile string
+	shards  int // 0 = auto-detect from the files present
 }
 
 func parseSpec(arg string) (graphSpec, error) {
 	var s graphSpec
 	name, rest, ok := strings.Cut(arg, "=")
 	if !ok || name == "" || rest == "" {
-		return s, fmt.Errorf("graph spec %q: want name=path[,sem[,profile]]", arg)
+		return s, fmt.Errorf("graph spec %q: want name=path[,sem[,profile]][,shards=N]", arg)
 	}
 	s.name = name
 	parts := strings.Split(rest, ",")
 	s.path = parts[0]
 	s.profile = "FusionIO"
-	switch len(parts) {
-	case 1:
-	case 2, 3:
-		if parts[1] != "sem" {
-			return s, fmt.Errorf("graph spec %q: unknown option %q (want \"sem\")", arg, parts[1])
+	for _, opt := range parts[1:] {
+		switch {
+		case opt == "sem":
+			s.sem = true
+		case strings.HasPrefix(opt, "shards="):
+			n, err := strconv.Atoi(strings.TrimPrefix(opt, "shards="))
+			if err != nil || n < 0 {
+				return s, fmt.Errorf("graph spec %q: bad shard count %q", arg, opt)
+			}
+			s.shards = n
+		case s.sem:
+			s.profile = opt
+		default:
+			return s, fmt.Errorf("graph spec %q: unknown option %q (want \"sem\" or \"shards=N\")", arg, opt)
 		}
-		s.sem = true
-		if len(parts) == 3 {
-			s.profile = parts[2]
-		}
-	default:
-		return s, fmt.Errorf("graph spec %q: too many options", arg)
 	}
-	if _, err := os.Stat(s.path); err != nil {
+	if _, _, err := shardPaths(s.path, s.shards); err != nil {
 		return s, fmt.Errorf("graph %q: %w", s.name, err)
 	}
 	if s.sem {
@@ -73,47 +84,109 @@ func parseSpec(arg string) (graphSpec, error) {
 	return s, nil
 }
 
-// load opens one graph file as a server.Graph, either decoded fully into an
-// in-memory CSR or mounted semi-externally behind a block-cached simulated
-// flash device.
+// shardPaths resolves a spec's path/shards into the concrete file list, the
+// same resolution cmd/traverse performs: shards==0 auto-detects (a plain
+// file mounts as is, otherwise path.shard0.. are discovered); shards>=1
+// demands exactly that many shard files.
+func shardPaths(path string, shards int) ([]string, bool, error) {
+	if shards == 0 {
+		if _, err := os.Stat(path); err == nil {
+			return []string{path}, false, nil
+		}
+		var paths []string
+		for k := 0; ; k++ {
+			p := sem.ShardFileName(path, k)
+			if _, err := os.Stat(p); err != nil {
+				break
+			}
+			paths = append(paths, p)
+		}
+		if len(paths) == 0 {
+			return nil, false, fmt.Errorf("neither %s nor %s exists", path, sem.ShardFileName(path, 0))
+		}
+		return paths, true, nil
+	}
+	paths := make([]string, shards)
+	for k := range paths {
+		paths[k] = sem.ShardFileName(path, k)
+		if _, err := os.Stat(paths[k]); err != nil {
+			return nil, false, fmt.Errorf("%w: shards=%d but shard file missing: %v", sem.ErrShardSpec, shards, err)
+		}
+	}
+	return paths, true, nil
+}
+
+// load opens one graph (a plain file or a complete shard set) as a
+// server.Graph: decoded fully into an in-memory CSR, or mounted
+// semi-externally with one block-cached simulated flash device per shard.
 func load(spec graphSpec, prefetch, prefetchGap int) (server.Graph, error) {
 	g := server.Graph{Name: spec.name}
-	f, err := os.Open(spec.path)
+	paths, sharded, err := shardPaths(spec.path, spec.shards)
 	if err != nil {
 		return g, err
 	}
-	// The backing mmap-reads the file for the process lifetime; nothing to
-	// close eagerly here.
-	backing, err := ssd.NewFileBacking(f)
-	if err != nil {
-		_ = f.Close()
-		return g, err
-	}
-	if !spec.sem {
-		im, err := sem.LoadCSR[uint32](backing)
+	backings := make([]*ssd.FileBacking, len(paths))
+	for i, pth := range paths {
+		f, err := os.Open(pth)
 		if err != nil {
 			return g, err
 		}
-		g.Adj, g.Storage = im, "im"
+		// The backing mmap-reads the file for the process lifetime; nothing
+		// to close eagerly here.
+		if backings[i], err = ssd.NewFileBacking(f); err != nil {
+			_ = f.Close()
+			return g, err
+		}
+	}
+	if !spec.sem {
+		if sharded {
+			stores := make([]sem.Store, len(backings))
+			for i, b := range backings {
+				stores[i] = b
+			}
+			csr, err := sem.LoadShardedCSR[uint32](stores)
+			if err != nil {
+				return g, err
+			}
+			g.Adj, g.Storage, g.Shards = csr, "im", len(stores)
+			return g, nil
+		}
+		csr, err := sem.LoadCSR[uint32](backings[0])
+		if err != nil {
+			return g, err
+		}
+		g.Adj, g.Storage = csr, "im"
 		return g, nil
 	}
 	p, err := ssd.ProfileByName(spec.profile)
 	if err != nil {
 		return g, err
 	}
-	dev := ssd.New(p, backing)
-	cache, err := sem.NewCachedStoreRA(dev, 4096, backing.Size()/2, 8)
-	if err != nil {
-		return g, err
+	devs := make([]*ssd.Device, len(backings))
+	caches := make([]*sem.CachedStore, len(backings))
+	sgs := make([]*sem.Graph[uint32], len(backings))
+	for i, b := range backings {
+		devs[i] = ssd.New(p, b)
+		if caches[i], err = sem.NewCachedStoreRA(devs[i], 4096, b.Size()/2, 8); err != nil {
+			return g, err
+		}
+		if sgs[i], err = sem.Open[uint32](caches[i]); err != nil {
+			return g, err
+		}
+		if prefetch > 1 {
+			sgs[i].EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
+		}
 	}
-	sg, err := sem.Open[uint32](cache)
-	if err != nil {
-		return g, err
+	if sharded {
+		mounted, err := sem.MountShards(sgs)
+		if err != nil {
+			return g, err
+		}
+		g.Adj, g.Storage = mounted, "sem"
+		g.Devices, g.BlockCaches, g.Shards = devs, caches, len(sgs)
+		return g, nil
 	}
-	if prefetch > 1 {
-		sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
-	}
-	g.Adj, g.Storage, g.Device, g.BlockCache = sg, "sem", dev, cache
+	g.Adj, g.Storage, g.Device, g.BlockCache = sgs[0], "sem", devs[0], caches[0]
 	return g, nil
 }
 
@@ -159,13 +232,22 @@ func main() {
 		g, err := load(spec, *prefetch, *prefgap)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			if errors.Is(err, sem.ErrShardSpec) {
+				// The shard files contradict the requested mount: a usage
+				// error, not a runtime failure.
+				os.Exit(2)
+			}
 			os.Exit(1)
 		}
 		if err := s.AddGraph(g); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("loaded %s (%s) from %s", spec.name, g.Storage, spec.path)
+		if g.Shards > 1 {
+			log.Printf("loaded %s (%s, %d shards) from %s.shard0..%d", spec.name, g.Storage, g.Shards, spec.path, g.Shards-1)
+		} else {
+			log.Printf("loaded %s (%s) from %s", spec.name, g.Storage, spec.path)
+		}
 	}
 
 	log.Printf("serving %d graph(s) on %s", len(specs), *listen)

@@ -9,9 +9,11 @@
 //	traverse -graph a14w.asg -algo sssp -engine async
 //	traverse -graph b14u.asg -algo cc -engine bsp -ranks 16
 //	traverse -graph a16.asg -algo bfs -sem -profile FusionIO -workers 128
+//	traverse -graph b16.asg -shards 4 -algo bfs -sem        # b16.asg.shard0..3
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,14 +45,20 @@ func main() {
 		prefetch = flag.Int("prefetch", 0, "SEM pop-window size: pop this many visitors at once and start their adjacency reads asynchronously (0 = off)")
 		prefgap  = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap bridged when coalescing prefetched adjacency extents into one device read")
 		check    = flag.Bool("check", false, "verify async results against the serial baseline")
+		shards   = flag.Int("shards", 0, "mount graph.shard0..N-1 as one sharded graph (0 = auto-detect from the files present)")
 	)
 	flag.Parse()
-	if err := validate(*path, *algo, *engine, *workers, *ranks, *semMode, *profile); err != nil {
+	if err := validate(*path, *algo, *engine, *workers, *ranks, *semMode, *profile, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *nocache, *profile, *semisort, *batch, *prefetch, *prefgap, *check); err != nil {
+	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *nocache, *profile, *semisort, *batch, *prefetch, *prefgap, *check, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
+		if errors.Is(err, sem.ErrShardSpec) {
+			// The shard files contradict the requested mount: a usage error,
+			// not a runtime failure.
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -65,13 +73,16 @@ var engines = map[string][]string{
 }
 
 // validate rejects bad flag combinations up front: unknown algorithm or
-// engine, missing graph file, and non-positive parallelism.
-func validate(path, algo, engine string, workers, ranks int, semMode bool, profile string) error {
+// engine, missing graph or shard files, and non-positive parallelism.
+func validate(path, algo, engine string, workers, ranks int, semMode bool, profile string, shards int) error {
 	if path == "" {
 		return fmt.Errorf("-graph is required (a file produced by gengraph)")
 	}
-	if _, err := os.Stat(path); err != nil {
-		return fmt.Errorf("-graph: %w", err)
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = auto-detect), got %d", shards)
+	}
+	if _, _, err := shardPaths(path, shards); err != nil {
+		return err
 	}
 	supported, ok := engines[algo]
 	if !ok {
@@ -98,56 +109,124 @@ func validate(path, algo, engine string, workers, ranks int, semMode bool, profi
 	return nil
 }
 
-func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode, nocache bool, profile string, semisort bool, batch, prefetch, prefetchGap int, check bool) error {
-	f, err := os.Open(path)
+// shardPaths resolves -graph/-shards into the concrete file list. shards==0
+// auto-detects: a plain file mounts as is, otherwise path.shard0.. are
+// discovered; shards>=1 demands exactly that many shard files. The second
+// result reports whether the mount is a shard set.
+func shardPaths(path string, shards int) ([]string, bool, error) {
+	if shards == 0 {
+		if _, err := os.Stat(path); err == nil {
+			return []string{path}, false, nil
+		}
+		var paths []string
+		for k := 0; ; k++ {
+			p := sem.ShardFileName(path, k)
+			if _, err := os.Stat(p); err != nil {
+				break
+			}
+			paths = append(paths, p)
+		}
+		if len(paths) == 0 {
+			return nil, false, fmt.Errorf("-graph: neither %s nor %s exists", path, sem.ShardFileName(path, 0))
+		}
+		return paths, true, nil
+	}
+	paths := make([]string, shards)
+	for k := range paths {
+		paths[k] = sem.ShardFileName(path, k)
+		if _, err := os.Stat(paths[k]); err != nil {
+			return nil, false, fmt.Errorf("%w: -shards %d but shard file missing: %v", sem.ErrShardSpec, shards, err)
+		}
+	}
+	return paths, true, nil
+}
+
+func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode, nocache bool, profile string, semisort bool, batch, prefetch, prefetchGap int, check bool, shards int) error {
+	paths, sharded, err := shardPaths(path, shards)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	backing, err := ssd.NewFileBacking(f)
-	if err != nil {
-		return err
+	backings := make([]*ssd.FileBacking, len(paths))
+	for i, pth := range paths {
+		f, err := os.Open(pth)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if backings[i], err = ssd.NewFileBacking(f); err != nil {
+			return err
+		}
 	}
 
 	var adj graph.Adjacency[uint32]
 	var im *graph.CSR[uint32]
-	var dev *ssd.Device
-	var cache *sem.CachedStore
-	var sg *sem.Graph[uint32]
+	var devs []*ssd.Device
+	var caches []*sem.CachedStore
+	var sgs []*sem.Graph[uint32]
 	if semMode {
 		p, err := ssd.ProfileByName(profile)
 		if err != nil {
 			return err
 		}
-		dev = ssd.New(p, backing)
-		var store sem.Store = dev
-		if !nocache {
-			cache, err = sem.NewCachedStoreRA(dev, 4096, backing.Size()/2, 8)
+		devs = make([]*ssd.Device, len(backings))
+		caches = make([]*sem.CachedStore, len(backings))
+		sgs = make([]*sem.Graph[uint32], len(backings))
+		for i, b := range backings {
+			devs[i] = ssd.New(p, b)
+			var store sem.Store = devs[i]
+			if !nocache {
+				if caches[i], err = sem.NewCachedStoreRA(devs[i], 4096, b.Size()/2, 8); err != nil {
+					return err
+				}
+				store = caches[i]
+			}
+			if sgs[i], err = sem.Open[uint32](store); err != nil {
+				return err
+			}
+			if prefetch > 1 {
+				sgs[i].EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
+			}
+		}
+		if sharded {
+			mounted, err := sem.MountShards(sgs)
 			if err != nil {
 				return err
 			}
-			store = cache
+			var edgeBytes int64
+			for _, sg := range sgs {
+				edgeBytes += sg.EdgeBytes()
+			}
+			bpe := 0.0
+			if mounted.NumEdges() > 0 {
+				bpe = float64(edgeBytes) / float64(mounted.NumEdges())
+			}
+			fmt.Printf("semi-external sharded: %d shards, %d vertices, %d edges, %d edge bytes (%.2f B/edge) on %s\n",
+				mounted.NumShards(), mounted.NumVertices(), mounted.NumEdges(), edgeBytes, bpe, p.Name)
+			adj = mounted
+		} else {
+			sg := sgs[0]
+			format := "raw"
+			if sg.Compressed() {
+				format = "compressed"
+			}
+			bpe := 0.0
+			if sg.NumEdges() > 0 {
+				bpe = float64(sg.EdgeBytes()) / float64(sg.NumEdges())
+			}
+			fmt.Printf("semi-external: %d vertices, %d edges, %d edge bytes (%s, %.2f B/edge) on %s\n",
+				sg.NumVertices(), sg.NumEdges(), sg.EdgeBytes(), format, bpe, p.Name)
+			adj = sg
 		}
-		sg, err = sem.Open[uint32](store)
-		if err != nil {
-			return err
-		}
-		if prefetch > 1 {
-			sg.EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
-		}
-		format := "raw"
-		if sg.Compressed() {
-			format = "compressed"
-		}
-		bpe := 0.0
-		if sg.NumEdges() > 0 {
-			bpe = float64(sg.EdgeBytes()) / float64(sg.NumEdges())
-		}
-		fmt.Printf("semi-external: %d vertices, %d edges, %d edge bytes (%s, %.2f B/edge) on %s\n",
-			sg.NumVertices(), sg.NumEdges(), sg.EdgeBytes(), format, bpe, p.Name)
-		adj = sg
 	} else {
-		im, err = sem.LoadCSR[uint32](backing)
+		if sharded {
+			stores := make([]sem.Store, len(backings))
+			for i, b := range backings {
+				stores[i] = b
+			}
+			im, err = sem.LoadShardedCSR[uint32](stores)
+		} else {
+			im, err = sem.LoadCSR[uint32](backings[0])
+		}
 		if err != nil {
 			return err
 		}
@@ -289,27 +368,51 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		return fmt.Errorf("unsupported -algo %q with -engine %q", algo, engine)
 	}
 	if semMode {
-		reportSemIO(dev, cache, sg)
+		reportSemIO(devs, caches, sgs, sharded)
 	}
 	return nil
 }
 
 // reportSemIO prints the end-to-end I/O picture of a semi-external run:
-// device operation and byte counts, block-cache effectiveness, and — when
-// the prefetch pipeline was on — its span-coalescing counters.
-func reportSemIO(dev *ssd.Device, cache *sem.CachedStore, sg *sem.Graph[uint32]) {
-	st := dev.Stats()
+// device operation and byte counts (per shard when the mount is sharded, so
+// the fan-out of pop-window spans across member devices is visible), block-
+// cache effectiveness, and — when the prefetch pipeline was on — its
+// span-coalescing counters.
+func reportSemIO(devs []*ssd.Device, caches []*sem.CachedStore, sgs []*sem.Graph[uint32], sharded bool) {
+	stats := make([]ssd.Stats, len(devs))
+	for i, d := range devs {
+		stats[i] = d.Stats()
+		if sharded {
+			fmt.Printf("shard%d device: reads=%d bytesRead=%d avgRead=%.0fB maxRead=%dB\n",
+				i, stats[i].Reads, stats[i].BytesRead, stats[i].AvgReadBytes(), stats[i].MaxReadBytes)
+		}
+	}
+	st := ssd.Sum(stats...)
 	fmt.Printf("device: reads=%d writes=%d bytesRead=%d avgRead=%.0fB maxRead=%dB\n",
 		st.Reads, st.Writes, st.BytesRead, st.AvgReadBytes(), st.MaxReadBytes)
-	if cache != nil {
-		hits, misses := cache.Stats()
+	var hits, misses uint64
+	haveCache := false
+	for _, c := range caches {
+		if c == nil {
+			continue
+		}
+		haveCache = true
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	if haveCache {
 		hitRate := 0.0
 		if hits+misses > 0 {
 			hitRate = 100 * float64(hits) / float64(hits+misses)
 		}
 		fmt.Printf("cache: hits=%d misses=%d hitRate=%.1f%%\n", hits, misses, hitRate)
 	}
-	if ps := sg.PrefetchStats(); ps.Windows > 0 {
+	var ps sem.PrefetchStats
+	for _, sg := range sgs {
+		ps.Add(sg.PrefetchStats())
+	}
+	if ps.Windows > 0 {
 		fmt.Printf("prefetch: windows=%d vertices=%d spans=%d v/span=%.1f spanBytes=%d gapBytes=%d consumed=%.0f%%\n",
 			ps.Windows, ps.Vertices, ps.Spans, ps.VertsPerSpan(), ps.SpanBytes, ps.GapBytes, 100*ps.ConsumedFrac())
 	}

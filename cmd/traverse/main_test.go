@@ -11,6 +11,12 @@ func TestValidate(t *testing.T) {
 	if err := os.WriteFile(g, []byte("stub"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	sharded := filepath.Join(t.TempDir(), "s.asg")
+	for k := 0; k < 2; k++ {
+		if err := os.WriteFile(sharded+".shard"+string(rune('0'+k)), []byte("stub"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	cases := []struct {
 		name    string
 		path    string
@@ -20,23 +26,29 @@ func TestValidate(t *testing.T) {
 		ranks   int
 		sem     bool
 		profile string
+		shards  int
 		ok      bool
 	}{
-		{"valid async bfs", g, "bfs", "async", 512, 16, false, "", true},
-		{"valid bsp cc", g, "cc", "bsp", 8, 4, false, "", true},
-		{"valid sem profile", g, "sssp", "async", 8, 16, true, "Intel", true},
-		{"missing path", "", "bfs", "async", 8, 16, false, "", false},
-		{"nonexistent file", g + ".nope", "bfs", "async", 8, 16, false, "", false},
-		{"unknown algo", g, "pagerank", "async", 8, 16, false, "", false},
-		{"unknown engine", g, "bfs", "quantum", 8, 16, false, "", false},
-		{"sssp has no bsp engine", g, "sssp", "bsp", 8, 16, false, "", false},
-		{"negative workers", g, "bfs", "async", -1, 16, false, "", false},
-		{"zero workers", g, "bfs", "async", 0, 16, false, "", false},
-		{"bsp needs ranks", g, "bfs", "bsp", 8, 0, false, "", false},
-		{"unknown sem profile", g, "bfs", "async", 8, 16, true, "FloppyDisk", false},
+		{"valid async bfs", g, "bfs", "async", 512, 16, false, "", 0, true},
+		{"valid bsp cc", g, "cc", "bsp", 8, 4, false, "", 0, true},
+		{"valid sem profile", g, "sssp", "async", 8, 16, true, "Intel", 0, true},
+		{"missing path", "", "bfs", "async", 8, 16, false, "", 0, false},
+		{"nonexistent file", g + ".nope", "bfs", "async", 8, 16, false, "", 0, false},
+		{"unknown algo", g, "pagerank", "async", 8, 16, false, "", 0, false},
+		{"unknown engine", g, "bfs", "quantum", 8, 16, false, "", 0, false},
+		{"sssp has no bsp engine", g, "sssp", "bsp", 8, 16, false, "", 0, false},
+		{"negative workers", g, "bfs", "async", -1, 16, false, "", 0, false},
+		{"zero workers", g, "bfs", "async", 0, 16, false, "", 0, false},
+		{"bsp needs ranks", g, "bfs", "bsp", 8, 0, false, "", 0, false},
+		{"unknown sem profile", g, "bfs", "async", 8, 16, true, "FloppyDisk", 0, false},
+		{"negative shards", g, "bfs", "async", 8, 16, false, "", -1, false},
+		{"shard files present", sharded, "bfs", "async", 8, 16, false, "", 2, true},
+		{"shard files auto-detected", sharded, "bfs", "async", 8, 16, false, "", 0, true},
+		{"shard count exceeds files", sharded, "bfs", "async", 8, 16, false, "", 3, false},
+		{"shards of a plain file", g, "bfs", "async", 8, 16, false, "", 2, false},
 	}
 	for _, tc := range cases {
-		err := validate(tc.path, tc.algo, tc.engine, tc.workers, tc.ranks, tc.sem, tc.profile)
+		err := validate(tc.path, tc.algo, tc.engine, tc.workers, tc.ranks, tc.sem, tc.profile, tc.shards)
 		if tc.ok && err != nil {
 			t.Errorf("%s: unexpected error %v", tc.name, err)
 		}

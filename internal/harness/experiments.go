@@ -58,6 +58,11 @@ type Options struct {
 	// device bytes per traversed edge; Table IV/V's B/edge column shows the
 	// achieved density.
 	Compressed bool
+	// Shards hash-partitions every semi-external mount across this many
+	// member stores, each with its own simulated device, block cache, and
+	// prefetcher (0 or 1 = one store, the historical layout). SEMIO.PerShard
+	// carries the per-member device counters.
+	Shards int
 	// Fig1Threads and Fig1Duration control the IOPS sweep.
 	Fig1Threads  []int
 	Fig1Duration time.Duration
@@ -91,10 +96,14 @@ func Defaults() Options {
 
 // edgeFormat names the on-flash edge layout the SEM tables mount.
 func (o *Options) edgeFormat() string {
+	format := "raw"
 	if o.Compressed {
-		return "compressed"
+		format = "compressed"
 	}
-	return "raw"
+	if o.Shards > 1 {
+		format = fmt.Sprintf("%s x%d shards", format, o.Shards)
+	}
+	return format
 }
 
 func (o *Options) logf(format string, args ...any) {

@@ -137,12 +137,18 @@ func Table3(o Options) (*Table, error) {
 
 // SEMIO bundles the I/O-side observability of one semi-external run — device
 // traffic, cache effectiveness, and the prefetch pipeline's coalescing
-// counters — returned alongside core.Stats by the SEM harness paths.
+// counters — returned alongside core.Stats by the SEM harness paths. On a
+// sharded mount Device aggregates the members and PerShard keeps the
+// per-member snapshots (shard order), showing how pop-window spans fanned out
+// across the member devices.
 type SEMIO struct {
 	Device      ssd.Stats
+	PerShard    []ssd.Stats // nil when the mount is a single store
 	CacheHits   uint64
 	CacheMisses uint64
 	Prefetch    sem.PrefetchStats
+	EdgeBytes   int64  // on-flash edge bytes, summed across members
+	Edges       uint64 // logical edge count
 }
 
 // CacheHitRate reports block-cache hits over total block lookups (0 when the
@@ -154,10 +160,104 @@ func (s SEMIO) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
-// timeSEM measures a semi-external run best-of-SEMReps, remounting a fresh
-// device and cold cache each repetition. The returned SEMIO belongs to the
+// mountedSEM is one semi-external mount built for a measurement: a single
+// store, or a shard router over per-shard devices and caches.
+type mountedSEM struct {
+	adj    graph.Adjacency[uint32]
+	devs   []*ssd.Device
+	caches []*sem.CachedStore
+	sgs    []*sem.Graph[uint32]
+}
+
+// io snapshots the mount's observability counters into a SEMIO.
+func (m *mountedSEM) io() SEMIO {
+	var out SEMIO
+	stats := make([]ssd.Stats, len(m.devs))
+	for i, d := range m.devs {
+		stats[i] = d.Stats()
+	}
+	out.Device = ssd.Sum(stats...)
+	if len(stats) > 1 {
+		out.PerShard = stats
+	}
+	for _, c := range m.caches {
+		hits, misses := c.Stats()
+		out.CacheHits += hits
+		out.CacheMisses += misses
+	}
+	for _, sg := range m.sgs {
+		out.Prefetch.Add(sg.PrefetchStats())
+		out.EdgeBytes += sg.EdgeBytes()
+		out.Edges += sg.NumEdges()
+	}
+	return out
+}
+
+// semMount serializes g into the SEM format and mounts it for a measurement:
+// one store when o.Shards <= 1 (byte-identical to the historical layout), or
+// o.Shards hash-partitioned stores behind the shard router, each with its own
+// simulated device, block cache, and prefetcher.
+func semMount(o Options, g *graph.CSR[uint32], p ssd.Profile) (*mountedSEM, error) {
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards == 1 {
+		sg, dev, cache, err := semGraph(o, g, p)
+		if err != nil {
+			return nil, err
+		}
+		return &mountedSEM{
+			adj:    sg,
+			devs:   []*ssd.Device{dev},
+			caches: []*sem.CachedStore{cache},
+			sgs:    []*sem.Graph[uint32]{sg},
+		}, nil
+	}
+	m := &mountedSEM{
+		devs:   make([]*ssd.Device, shards),
+		caches: make([]*sem.CachedStore, shards),
+		sgs:    make([]*sem.Graph[uint32], shards),
+	}
+	for k := 0; k < shards; k++ {
+		var buf bytes.Buffer
+		var err error
+		cfg := sem.ShardConfig{Shard: k, Shards: shards}
+		if o.Compressed {
+			err = sem.WriteCSRShardCompressed(&buf, g, cfg)
+		} else {
+			err = sem.WriteCSRShard(&buf, g, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.devs[k] = ssd.New(p, &ssd.MemBacking{Data: buf.Bytes()})
+		budget := int64(buf.Len()) / o.CacheFrac
+		if budget < 64*1024 {
+			budget = 64 * 1024
+		}
+		if m.caches[k], err = sem.NewCachedStoreRA(m.devs[k], 4096, budget, o.Readahead); err != nil {
+			return nil, err
+		}
+		if m.sgs[k], err = sem.Open[uint32](m.caches[k]); err != nil {
+			return nil, err
+		}
+		if o.Prefetch > 1 {
+			m.sgs[k].EnablePrefetch(sem.PrefetchConfig{MaxGap: o.PrefetchGap})
+		}
+	}
+	mounted, err := sem.MountShards(m.sgs)
+	if err != nil {
+		return nil, err
+	}
+	m.adj = mounted
+	return m, nil
+}
+
+// timeSEM measures a semi-external run best-of-SEMReps, remounting fresh
+// devices and cold caches each repetition. The returned SEMIO belongs to the
 // fastest repetition.
-func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(sg *sem.Graph[uint32]) error) (time.Duration, SEMIO, error) {
+func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(adj graph.Adjacency[uint32]) error) (time.Duration, SEMIO, error) {
 	reps := o.SEMReps
 	if reps < 1 {
 		reps = 1
@@ -166,24 +266,18 @@ func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(sg *sem.Gr
 	var bestIO SEMIO
 	have := false
 	for r := 0; r < reps; r++ {
-		sg, dev, cache, err := semGraph(o, g, p)
+		mnt, err := semMount(o, g, p)
 		if err != nil {
 			return 0, SEMIO{}, err
 		}
-		dur, err := timeIt(func() error { return run(sg) })
+		dur, err := timeIt(func() error { return run(mnt.adj) })
 		if err != nil {
 			return 0, SEMIO{}, err
 		}
 		if !have || dur < best {
 			have = true
 			best = dur
-			hits, misses := cache.Stats()
-			bestIO = SEMIO{
-				Device:      dev.Stats(),
-				CacheHits:   hits,
-				CacheMisses: misses,
-				Prefetch:    sg.PrefetchStats(),
-			}
+			bestIO = mnt.io()
 		}
 	}
 	return best, bestIO, nil
@@ -263,10 +357,8 @@ func Table4(o Options) (*Table, error) {
 			}
 			var devReads uint64
 			for _, p := range ssd.Profiles {
-				dur, io, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
-					row[2] = fmt.Sprintf("%d", sg.EdgeBytes())
-					row[3] = BytesPerEdge(sg.EdgeBytes(), sg.NumEdges())
-					_, err := core.BFS[uint32](sg, src, core.Config{
+				dur, io, err := timeSEM(o, g, p, func(adj graph.Adjacency[uint32]) error {
+					_, err := core.BFS[uint32](adj, src, core.Config{
 						Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
 					})
 					return err
@@ -274,18 +366,20 @@ func Table4(o Options) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
+				row[2] = fmt.Sprintf("%d", io.EdgeBytes)
+				row[3] = BytesPerEdge(io.EdgeBytes, io.Edges)
 				row = append(row, Seconds(dur), Ratio(bglTime, dur))
 				if p.Name == "FusionIO" {
 					devReads = io.Device.Reads
 				}
 			}
 			// Single-threaded SEM on the fastest device: no I/O overlap.
-			sg, _, _, err := semGraph(o, g, ssd.FusionIO)
+			mnt, err := semMount(o, g, ssd.FusionIO)
 			if err != nil {
 				return nil, err
 			}
 			oneThread, err := timeIt(func() error {
-				_, err := core.BFS[uint32](sg, src, core.Config{Workers: 1, SemiSort: true})
+				_, err := core.BFS[uint32](mnt.adj, src, core.Config{Workers: 1, SemiSort: true})
 				return err
 			})
 			if err != nil {
@@ -339,10 +433,8 @@ func Table5(o Options) (*Table, error) {
 		}
 		row := []string{in.Name, fmt.Sprintf("%d", g.NumVertices()), "", "", Seconds(bglTime)}
 		for _, p := range ssd.Profiles {
-			dur, _, err := timeSEM(o, g, p, func(sg *sem.Graph[uint32]) error {
-				row[2] = fmt.Sprintf("%d", sg.EdgeBytes())
-				row[3] = BytesPerEdge(sg.EdgeBytes(), sg.NumEdges())
-				_, err := core.CC[uint32](sg, core.Config{
+			dur, io, err := timeSEM(o, g, p, func(adj graph.Adjacency[uint32]) error {
+				_, err := core.CC[uint32](adj, core.Config{
 					Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
 				})
 				return err
@@ -350,6 +442,8 @@ func Table5(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			row[2] = fmt.Sprintf("%d", io.EdgeBytes)
+			row[3] = BytesPerEdge(io.EdgeBytes, io.Edges)
 			row = append(row, Seconds(dur), Ratio(bglTime, dur))
 		}
 		t.Add(row...)

@@ -109,6 +109,7 @@ func TestConfigCheck(t *testing.T) {
 	expectExactly(t, ConfigCheck, map[string]string{
 		"config.go:10": "Config.Depth is never referenced",
 		"config.go:23": "OrphanConfig has no validate/normalize function",
+		"config.go:55": "ShardConfig.Replicas is never referenced",
 	})
 }
 

@@ -43,3 +43,24 @@ func validate(c *TunedConfig) {
 // CountConfig matches the name pattern but is not struct-underlying:
 // skipped entirely.
 type CountConfig int
+
+// ShardConfig mirrors the sem shard writer's config: a value-receiver
+// Validate covers Shard and Shards, a pointer-receiver normalize covers
+// Width — references from both receiver kinds pool. Replicas is touched by
+// neither: violation.
+type ShardConfig struct {
+	Shard    int
+	Shards   int
+	Width    int
+	Replicas int
+}
+
+func (c ShardConfig) Validate() bool {
+	return c.Shards >= 1 && c.Shard >= 0 && c.Shard < c.Shards
+}
+
+func (c *ShardConfig) normalize() {
+	if c.Width <= 0 {
+		c.Width = 4096
+	}
+}

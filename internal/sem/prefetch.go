@@ -71,6 +71,17 @@ type PrefetchStats struct {
 	Abandoned uint64 // prefetched lists dropped unread (stale by visit time)
 }
 
+// Add accumulates other into s, the per-shard roll-up of a sharded mount.
+func (s *PrefetchStats) Add(other PrefetchStats) {
+	s.Windows += other.Windows
+	s.Vertices += other.Vertices
+	s.Spans += other.Spans
+	s.SpanBytes += other.SpanBytes
+	s.GapBytes += other.GapBytes
+	s.Consumed += other.Consumed
+	s.Abandoned += other.Abandoned
+}
+
 // VertsPerSpan is the coalescing rate: how many vertex reads one device
 // operation covers on average (1.0 = no coalescing happened).
 func (s PrefetchStats) VertsPerSpan() float64 {

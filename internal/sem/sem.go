@@ -52,6 +52,11 @@ const (
 	flagWeighted   = 1 << 0
 	flag64Bit      = 1 << 1
 	flagCompressed = 1 << 2
+	// flagSharded marks a file holding one shard of a hash-partitioned graph;
+	// a 24-byte shard map (see sharded.go) follows the header before the
+	// vertex index. Files without the flag are byte-identical to pre-shard
+	// writers' output.
+	flagSharded = 1 << 3
 )
 
 const headerSize = 40
@@ -78,6 +83,13 @@ type Graph[V graph.Vertex] struct {
 	vSize      int
 	edgeBase   int64 // byte offset of the first edge record (v2: of the blob)
 
+	// Shard-map fields (zero values for plain files): this file holds shard
+	// `shard` of a `shards`-way partition whose logical graph has totalEdges
+	// edges; m counts only this shard's records.
+	shard      int
+	shards     int
+	totalEdges uint64
+
 	// prefetch, when non-nil, services NeighborsBatch windows with coalesced
 	// asynchronous span reads (see prefetch.go). Nil means NeighborsBatch is
 	// a no-op and every Neighbors call reads synchronously.
@@ -92,8 +104,36 @@ func vertexWidth[V graph.Vertex]() int {
 	return 8
 }
 
+// writeHeader emits the 40-byte header and, when sm is non-nil, the 24-byte
+// shard map that follows it.
+func writeHeader(w io.Writer, version uint32, flags, n, m, blobBytes uint64, sm *shardMap) error {
+	if sm != nil {
+		flags |= flagSharded
+	}
+	header := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(header[0:], Magic)
+	binary.LittleEndian.PutUint32(header[4:], version)
+	binary.LittleEndian.PutUint64(header[8:], flags)
+	binary.LittleEndian.PutUint64(header[16:], n)
+	binary.LittleEndian.PutUint64(header[24:], m)
+	binary.LittleEndian.PutUint64(header[32:], blobBytes)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("sem: write header: %w", err)
+	}
+	if sm != nil {
+		if _, err := w.Write(sm.encode()); err != nil {
+			return fmt.Errorf("sem: write shard map: %w", err)
+		}
+	}
+	return nil
+}
+
 // WriteCSR serializes an in-memory CSR into the semi-external format.
 func WriteCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V]) error {
+	return writeCSR(w, g, nil)
+}
+
+func writeCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V], sm *shardMap) error {
 	vSize := vertexWidth[V]()
 	var flags uint64
 	if g.Weighted() {
@@ -102,15 +142,8 @@ func WriteCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V]) error {
 	if vSize == 8 {
 		flags |= flag64Bit
 	}
-	header := make([]byte, headerSize)
-	binary.LittleEndian.PutUint32(header[0:], Magic)
-	binary.LittleEndian.PutUint32(header[4:], Version)
-	binary.LittleEndian.PutUint64(header[8:], flags)
-	binary.LittleEndian.PutUint64(header[16:], g.NumVertices())
-	binary.LittleEndian.PutUint64(header[24:], g.NumEdges())
-	// header[32:40] reserved.
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("sem: write header: %w", err)
+	if err := writeHeader(w, Version, flags, g.NumVertices(), g.NumEdges(), 0, sm); err != nil {
+		return err
 	}
 
 	buf := make([]byte, 0, 1<<16)
@@ -152,6 +185,10 @@ func WriteCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V]) error {
 // WriteCompressed serializes an already-compressed graph into format v2:
 // header, block-extent index ((n+1) byte offsets), degree array, blob.
 func WriteCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V]) error {
+	return writeCompressed(w, c, nil)
+}
+
+func writeCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V], sm *shardMap) error {
 	vSize := vertexWidth[V]()
 	flags := uint64(flagCompressed)
 	if c.Weighted() {
@@ -161,15 +198,8 @@ func WriteCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V]) err
 		flags |= flag64Bit
 	}
 	blob := c.Blob()
-	header := make([]byte, headerSize)
-	binary.LittleEndian.PutUint32(header[0:], Magic)
-	binary.LittleEndian.PutUint32(header[4:], VersionCompressed)
-	binary.LittleEndian.PutUint64(header[8:], flags)
-	binary.LittleEndian.PutUint64(header[16:], c.NumVertices())
-	binary.LittleEndian.PutUint64(header[24:], c.NumEdges())
-	binary.LittleEndian.PutUint64(header[32:], uint64(len(blob)))
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("sem: write header: %w", err)
+	if err := writeHeader(w, VersionCompressed, flags, c.NumVertices(), c.NumEdges(), uint64(len(blob)), sm); err != nil {
+		return err
 	}
 	buf := make([]byte, 0, 1<<16)
 	for _, off := range c.BlockOffsets() {
@@ -255,7 +285,26 @@ func Open[V graph.Vertex](store Store) (*Graph[V], error) {
 	if n >= 1<<56 || m >= 1<<56 || blobBytes >= 1<<56 {
 		return nil, fmt.Errorf("sem: implausible header (n=%d m=%d blob=%d)", n, m, blobBytes)
 	}
-	g.edgeBase = headerSize + int64(n+1)*8
+	indexBase := int64(headerSize)
+	if flags&flagSharded != 0 {
+		raw := make([]byte, shardMapSize)
+		if _, err := io.ReadFull(io.NewSectionReader(store, headerSize, shardMapSize), raw); err != nil {
+			return nil, fmt.Errorf("sem: read shard map: %w", err)
+		}
+		sm, err := parseShardMap(raw)
+		if err != nil {
+			return nil, err
+		}
+		g.shard = int(sm.shard)
+		g.shards = int(sm.shards)
+		g.totalEdges = sm.totalEdges
+		if g.totalEdges < m {
+			return nil, fmt.Errorf("sem: %w: shard map claims %d total edges, shard alone holds %d",
+				ErrShardSpec, g.totalEdges, m)
+		}
+		indexBase += shardMapSize
+	}
+	g.edgeBase = indexBase + int64(n+1)*8
 	if g.compressed {
 		g.edgeBase += int64(n) * 4 // the degree array sits between index and blob
 	}
@@ -275,7 +324,7 @@ func Open[V graph.Vertex](store Store) (*Graph[V], error) {
 	// The vertex index is the RAM-resident "algorithmic information about
 	// the vertices". One sequential read at open time.
 	raw := make([]byte, (n+1)*8)
-	if _, err := io.ReadFull(io.NewSectionReader(store, headerSize, int64(len(raw))), raw); err != nil {
+	if _, err := io.ReadFull(io.NewSectionReader(store, indexBase, int64(len(raw))), raw); err != nil {
 		return nil, fmt.Errorf("sem: read vertex index: %w", err)
 	}
 	g.offsets = make([]uint64, n+1)
@@ -296,7 +345,7 @@ func Open[V graph.Vertex](store Store) (*Graph[V], error) {
 	}
 	if g.compressed {
 		raw = make([]byte, n*4)
-		if _, err := io.ReadFull(io.NewSectionReader(store, headerSize+int64(n+1)*8, int64(len(raw))), raw); err != nil {
+		if _, err := io.ReadFull(io.NewSectionReader(store, indexBase+int64(n+1)*8, int64(len(raw))), raw); err != nil {
 			return nil, fmt.Errorf("sem: read degree array: %w", err)
 		}
 		g.degrees = make([]uint32, n)
@@ -331,6 +380,27 @@ func (g *Graph[V]) Weighted() bool { return g.weighted }
 
 // Compressed reports whether the store holds format v2 compressed blocks.
 func (g *Graph[V]) Compressed() bool { return g.compressed }
+
+// Sharded reports whether the file carries a shard map: it holds one shard of
+// a hash-partitioned logical graph rather than the whole graph.
+func (g *Graph[V]) Sharded() bool { return g.shards > 0 }
+
+// Shard reports this file's shard index within its partition (0 when the file
+// is not sharded).
+func (g *Graph[V]) Shard() int { return g.shard }
+
+// Shards reports the partition width recorded in the shard map (0 when the
+// file is not sharded).
+func (g *Graph[V]) Shards() int { return g.shards }
+
+// TotalEdges reports the logical graph's edge count: the shard map's total
+// for sharded files, NumEdges otherwise.
+func (g *Graph[V]) TotalEdges() uint64 {
+	if g.Sharded() {
+		return g.totalEdges
+	}
+	return g.m
+}
 
 // Degree implements graph.Adjacency from the RAM-resident index.
 func (g *Graph[V]) Degree(v V) int {

@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/ssd"
 )
 
 // Observability is expvar-shaped (the issue's stdlib-only constraint): the
@@ -131,23 +133,56 @@ func (s *Server) buildVars() *expvar.Map {
 		out := make(map[string]any, len(s.graphs))
 		for name, g := range s.graphs {
 			gv := map[string]any{"storage": g.Storage}
-			if g.Device != nil {
-				st := g.Device.Stats()
-				gv["device"] = map[string]any{
-					"reads":          st.Reads,
-					"writes":         st.Writes,
-					"bytes_read":     st.BytesRead,
-					"bytes_written":  st.BytesWritten,
-					"max_read_bytes": st.MaxReadBytes,
+			if g.Shards > 1 {
+				gv["shards"] = g.Shards
+			}
+			if len(g.Devices) > 0 {
+				stats := make([]ssd.Stats, len(g.Devices))
+				for i, d := range g.Devices {
+					stats[i] = d.Stats()
+				}
+				gv["device"] = deviceVars(ssd.Sum(stats...))
+				// Per-shard counters make the pop-window fan-out visible: a
+				// healthy sharded mount shows every member device reading.
+				if len(stats) > 1 {
+					perShard := make([]map[string]any, len(stats))
+					for i, st := range stats {
+						perShard[i] = deviceVars(st)
+					}
+					gv["shard_devices"] = perShard
 				}
 			}
-			if g.BlockCache != nil {
-				hits, misses := g.BlockCache.Stats()
+			if len(g.BlockCaches) > 0 {
+				var hits, misses uint64
+				perShard := make([]map[string]any, 0, len(g.BlockCaches))
+				for _, c := range g.BlockCaches {
+					if c == nil {
+						continue
+					}
+					h, mi := c.Stats()
+					hits += h
+					misses += mi
+					perShard = append(perShard, map[string]any{"hits": h, "misses": mi})
+				}
 				gv["block_cache"] = map[string]any{"hits": hits, "misses": misses}
+				if len(perShard) > 1 {
+					gv["shard_block_caches"] = perShard
+				}
 			}
 			out[name] = gv
 		}
 		return out
 	}))
 	return m
+}
+
+// deviceVars renders one device-stats snapshot for /metrics.
+func deviceVars(st ssd.Stats) map[string]any {
+	return map[string]any{
+		"reads":          st.Reads,
+		"writes":         st.Writes,
+		"bytes_read":     st.BytesRead,
+		"bytes_written":  st.BytesWritten,
+		"max_read_bytes": st.MaxReadBytes,
+	}
 }

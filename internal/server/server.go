@@ -98,16 +98,24 @@ func (c *Config) normalize() {
 }
 
 // Graph is one read-only store served by the Server. Adj must be safe for
-// concurrent readers — both back ends are: the in-memory CSR is immutable,
-// and the semi-external store's reads share only the device, block cache,
-// and prefetcher, each of which is concurrency-safe. Device and BlockCache
-// are optional observability hooks surfaced under /metrics.
+// concurrent readers — all back ends are: the in-memory CSR is immutable,
+// the semi-external store's reads share only the device, block cache, and
+// prefetcher, each of which is concurrency-safe, and the shard router keeps
+// all mutable state in per-worker scratches. Device/BlockCache (single
+// store) and Devices/BlockCaches (one entry per shard, in shard order) are
+// optional observability hooks surfaced under /metrics; AddGraph folds the
+// singular fields into the slices.
 type Graph struct {
-	Name       string
-	Adj        graph.Adjacency[uint32]
-	Storage    string // "im" or "sem"; informational
-	Device     *ssd.Device
-	BlockCache *sem.CachedStore
+	Name        string
+	Adj         graph.Adjacency[uint32]
+	Storage     string // "im" or "sem"; informational
+	Device      *ssd.Device
+	BlockCache  *sem.CachedStore
+	Devices     []*ssd.Device
+	BlockCaches []*sem.CachedStore
+	// Shards is the mount's partition width (0 or 1 = unsharded). Filled
+	// from Adj when it is a shard router.
+	Shards int
 }
 
 func (g *Graph) weighted() bool {
@@ -180,6 +188,17 @@ func (s *Server) AddGraph(g Graph) error {
 	}
 	if g.Storage == "" {
 		g.Storage = "im"
+	}
+	if g.Device != nil && len(g.Devices) == 0 {
+		g.Devices = []*ssd.Device{g.Device}
+	}
+	if g.BlockCache != nil && len(g.BlockCaches) == 0 {
+		g.BlockCaches = []*sem.CachedStore{g.BlockCache}
+	}
+	if g.Shards == 0 {
+		if sh, ok := g.Adj.(interface{ NumShards() int }); ok {
+			g.Shards = sh.NumShards()
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -284,6 +303,7 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		Edges    uint64 `json:"edges"`
 		Weighted bool   `json:"weighted"`
 		Storage  string `json:"storage"`
+		Shards   int    `json:"shards,omitempty"`
 	}
 	s.mu.RLock()
 	infos := make([]graphInfo, 0, len(s.graphs))
@@ -294,6 +314,7 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 			Edges:    g.numEdges(),
 			Weighted: g.weighted(),
 			Storage:  g.Storage,
+			Shards:   g.Shards,
 		})
 	}
 	s.mu.RUnlock()

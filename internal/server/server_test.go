@@ -495,3 +495,149 @@ func TestAddGraphValidation(t *testing.T) {
 		t.Fatal("duplicate name accepted")
 	}
 }
+
+// buildShardedGraph writes st.im as a `shards`-way partition, each member on
+// its own block-cached simulated device, and assembles the server.Graph the
+// way cmd/serve does for a sharded mount.
+func buildShardedGraph(tb testing.TB, name string, g *graph.CSR[uint32], shards int) Graph {
+	tb.Helper()
+	devs := make([]*ssd.Device, shards)
+	caches := make([]*sem.CachedStore, shards)
+	sgs := make([]*sem.Graph[uint32], shards)
+	for k := 0; k < shards; k++ {
+		var buf bytes.Buffer
+		if err := sem.WriteCSRShard(&buf, g, sem.ShardConfig{Shard: k, Shards: shards}); err != nil {
+			tb.Fatal(err)
+		}
+		devs[k] = ssd.New(
+			ssd.Profile{Name: "test-fast", Channels: 64, ReadLatency: 20 * time.Microsecond},
+			&ssd.MemBacking{Data: buf.Bytes()},
+		)
+		cache, err := sem.NewCachedStore(devs[k], 4096, 1<<20)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		caches[k] = cache
+		if sgs[k], err = sem.Open[uint32](cache); err != nil {
+			tb.Fatal(err)
+		}
+		sgs[k].EnablePrefetch(sem.PrefetchConfig{})
+	}
+	mounted, err := sem.MountShards(sgs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Graph{
+		Name: name, Adj: mounted, Storage: "sem",
+		Devices: devs, BlockCaches: caches, Shards: shards,
+	}
+}
+
+// TestConcurrentQueriesShardedSEM serves a 3-shard SEM mount to many
+// concurrent readers: results must match the in-memory baseline, /v1/graphs
+// must advertise the shard count, and /metrics must show every member device
+// reading (the pop-window fan-out observed end to end).
+func TestConcurrentQueriesShardedSEM(t *testing.T) {
+	st := buildStores(t, 8)
+	const shards = 3
+	s := New(Config{
+		MaxConcurrent: 16,
+		CacheEntries:  -1, // disabled: every query must traverse the stores
+		Engine:        core.Config{Workers: 8, Prefetch: 64},
+	})
+	if err := s.AddGraph(buildShardedGraph(t, "sharded", st.im, shards)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const queries = 24
+	sources := make([]uint32, queries)
+	wants := make([]*core.SSSPResult[uint32], queries)
+	for i := range sources {
+		sources[i] = uint32(i * 7)
+		want, err := core.SSSP[uint32](st.im, sources[i], core.Config{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, queries)
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postQuery(t, ts, queryRequest{
+				Graph:     "sharded",
+				Kernel:    "sssp",
+				Source:    uint64(sources[i]),
+				Targets:   []uint64{0, 17, 101, 255},
+				TimeoutMs: 20_000,
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			qr := decodeQuery(t, body)
+			for _, tgt := range qr.Targets {
+				v := uint32(tgt.Vertex)
+				if tgt.Reached != wants[i].Reached(v) {
+					errs <- fmt.Errorf("query %d vertex %d: reached=%v, want %v", i, v, tgt.Reached, wants[i].Reached(v))
+					return
+				}
+				if tgt.Reached && tgt.Value != wants[i].Dist[v] {
+					errs <- fmt.Errorf("query %d vertex %d: dist=%d, want %d", i, v, tgt.Value, wants[i].Dist[v])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Graphs []struct {
+			Name    string `json:"name"`
+			Storage string `json:"storage"`
+			Shards  int    `json:"shards"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Name != "sharded" ||
+		listing.Graphs[0].Storage != "sem" || listing.Graphs[0].Shards != shards {
+		t.Fatalf("/v1/graphs = %+v, want one sem graph with %d shards", listing.Graphs, shards)
+	}
+
+	m := fetchMetrics(t, ts)
+	gv := m["graphs"].(map[string]any)["sharded"].(map[string]any)
+	if got := gv["shards"].(float64); got != shards {
+		t.Fatalf("metrics shards = %v, want %d", got, shards)
+	}
+	if reads := gv["device"].(map[string]any)["reads"].(float64); reads == 0 {
+		t.Fatal("aggregate device reads = 0; queries did not touch the SEM stores")
+	}
+	perShard := gv["shard_devices"].([]any)
+	if len(perShard) != shards {
+		t.Fatalf("shard_devices has %d entries, want %d", len(perShard), shards)
+	}
+	for k, sv := range perShard {
+		if reads := sv.(map[string]any)["reads"].(float64); reads == 0 {
+			t.Fatalf("shard %d device reads = 0; window fan-out never reached it", k)
+		}
+	}
+	if bc := gv["shard_block_caches"].([]any); len(bc) != shards {
+		t.Fatalf("shard_block_caches has %d entries, want %d", len(bc), shards)
+	}
+}

@@ -60,14 +60,7 @@ func (r *RAID0) Size() int64 { return r.devices[0].Size() }
 func (r *RAID0) Stats() Stats {
 	var total Stats
 	for _, d := range r.devices {
-		s := d.Stats()
-		total.Reads += s.Reads
-		total.Writes += s.Writes
-		total.BytesRead += s.BytesRead
-		total.BytesWritten += s.BytesWritten
-		if s.MaxReadBytes > total.MaxReadBytes {
-			total.MaxReadBytes = s.MaxReadBytes
-		}
+		total.Add(d.Stats())
 	}
 	return total
 }

@@ -100,6 +100,27 @@ type Stats struct {
 	MaxReadBytes uint64
 }
 
+// Add accumulates other into s: counters sum, MaxReadBytes takes the larger.
+// This is the member roll-up RAID stripes and shard mounts report through.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	if other.MaxReadBytes > s.MaxReadBytes {
+		s.MaxReadBytes = other.MaxReadBytes
+	}
+}
+
+// Sum rolls member snapshots up into one aggregate.
+func Sum(members ...Stats) Stats {
+	var total Stats
+	for _, m := range members {
+		total.Add(m)
+	}
+	return total
+}
+
 // AvgReadBytes reports mean bytes per read operation (0 when no reads ran).
 func (s Stats) AvgReadBytes() float64 {
 	if s.Reads == 0 {
