@@ -57,6 +57,7 @@ var benchGraphs struct {
 	undirected *graph.CSR[uint32]
 	src        uint32
 	chain      *graph.CSR[uint32]
+	grid       *graph.CSR[uint32]
 	semFile    []byte // directed graph serialized for SEM runs
 	semFileU   []byte // undirected graph serialized for SEM CC runs
 	semFileW   []byte // weighted (UW) graph serialized for SEM SSSP runs
@@ -73,6 +74,7 @@ func graphs(tb testing.TB) *struct {
 	undirected *graph.CSR[uint32]
 	src        uint32
 	chain      *graph.CSR[uint32]
+	grid       *graph.CSR[uint32]
 	semFile    []byte
 	semFileU   []byte
 	semFileW   []byte
@@ -97,6 +99,9 @@ func graphs(tb testing.TB) *struct {
 		benchGraphs.undirected, err = gen.RMATUndirected[uint32](benchScale, benchDegree, gen.RMATA, benchSeed)
 		must(err)
 		benchGraphs.chain, err = gen.Chain[uint32](1 << benchScale)
+		must(err)
+		side := uint64(1) << (benchScale / 2)
+		benchGraphs.grid, err = gen.Grid[uint32](side, side)
 		must(err)
 		for v := uint32(0); uint64(v) < benchGraphs.directed.NumVertices(); v++ {
 			if benchGraphs.directed.Degree(v) > benchGraphs.directed.Degree(benchGraphs.src) {
@@ -427,6 +432,13 @@ func semMountSharded(b *testing.B, files [][]byte, p ssd.Profile, window int) (*
 // devB/edge tracks the side cost of coalescing per shard — member files are
 // sparser (same id space, 1/N the edges), so span coalescing bridges
 // proportionally more discarded gap bytes.
+//
+// The direction dimension (BFS, FusionIO, prefetch on) runs the per-phase
+// direction controller over files carrying the on-flash in-edge section:
+// bottom-up phases replace per-vertex record pops with sequential in-section
+// spans (scanSpans/op), which is where hybrid must beat pure top-down on the
+// dense RMAT frontiers — and must stay within noise on the high-diameter
+// chain/grid rows, where the controller never leaves top-down.
 func BenchmarkSEMTraversal(b *testing.B) {
 	gs := graphs(b)
 	const window = 16
@@ -517,6 +529,59 @@ func BenchmarkSEMTraversal(b *testing.B) {
 			}
 		}
 	}
+
+	for _, in := range []struct {
+		name string
+		g    *graph.CSR[uint32]
+		src  uint32
+	}{
+		{"RMAT-A", gs.directed, gs.src},
+		{"RMAT-B", gs.directedB, maxDegSrc(gs.directedB)},
+		{"chain", gs.chain, 0},
+		{"grid", gs.grid, 0},
+	} {
+		var buf bytes.Buffer
+		if err := sem.Write(&buf, in.g, sem.WriteConfig{InEdges: true}); err != nil {
+			b.Fatal(err)
+		}
+		file := append([]byte(nil), buf.Bytes()...)
+		alpha, beta := graph.DegreesOf[uint32](in.g).DirectionThresholds()
+		for _, dir := range []core.Direction{core.DirectionTopDown, core.DirectionHybrid} {
+			b.Run(fmt.Sprintf("BFS/direction/%s/%s", in.name, dir), func(b *testing.B) {
+				var reads, devBytes, scanSpans uint64
+				for i := 0; i < b.N; i++ {
+					sg, dev := semMountRaw(b, file, ssd.FusionIO, window)
+					mounted := dev.Stats().BytesRead
+					if _, err := core.BFS[uint32](sg, in.src, core.Config{
+						Workers: 128, SemiSort: true, Prefetch: window,
+						Direction: dir, Alpha: alpha, Beta: beta,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					st := dev.Stats()
+					reads += st.Reads
+					devBytes += st.BytesRead - mounted
+					scanSpans += sg.PrefetchStats().ScanSpans
+				}
+				edgesPerSec(b, in.g.NumEdges())
+				b.ReportMetric(float64(reads)/float64(b.N), "devReads/op")
+				b.ReportMetric(float64(devBytes)/float64(b.N)/float64(in.g.NumEdges()), "devB/edge")
+				b.ReportMetric(float64(scanSpans)/float64(b.N), "scanSpans/op")
+			})
+		}
+	}
+}
+
+// maxDegSrc returns the highest-out-degree vertex, the same source rule the
+// harness tables use.
+func maxDegSrc(g *graph.CSR[uint32]) uint32 {
+	src := uint32(0)
+	for v := uint32(0); uint64(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > g.Degree(src) {
+			src = v
+		}
+	}
+	return src
 }
 
 // BenchmarkAblationOversubscription regenerates the §IV-A thread

@@ -18,12 +18,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, table3, table4, table5, ablation")
+		exp       = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, table3, table4, table5, ablation, direction")
 		scales    = flag.String("scales", "", "comma-separated log2 vertex counts for in-memory tables")
 		semScales = flag.String("semscales", "", "comma-separated log2 vertex counts for SEM tables")
 		degree    = flag.Int("degree", 0, "average out-degree (default 16)")
@@ -31,6 +32,7 @@ func main() {
 		memModel  = flag.Bool("memmodel", true, "apply the DRAM-latency model to in-memory runs")
 		compress  = flag.Bool("compress", false, "mount SEM tables on the delta+varint compressed (v2) edge format")
 		shards    = flag.Int("shards", 1, "mount SEM tables as an N-way hash partition, one device per shard")
+		dirFlag   = flag.String("direction", "", "BFS direction policy for SEM tables: topdown (default), bottomup, or hybrid")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -65,6 +67,11 @@ func main() {
 		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
 	}
 	o.Shards = *shards
+	dir, err := core.ParseDirection(*dirFlag)
+	if err != nil {
+		fatal(err)
+	}
+	o.Direction = dir
 
 	start := time.Now()
 	tables, err := run(*exp, o)
@@ -103,6 +110,8 @@ func run(exp string, o harness.Options) ([]*harness.Table, error) {
 		return one(harness.Table5(o))
 	case "ablation":
 		return harness.Ablations(o)
+	case "direction":
+		return one(harness.AblationDirection(o))
 	default:
 		return nil, fmt.Errorf("unknown -exp %q", exp)
 	}

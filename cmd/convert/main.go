@@ -33,6 +33,7 @@ func main() {
 		symmetrize = flag.Bool("symmetrize", false, "add reverse edges (undirected output)")
 		compress   = flag.Bool("compress", false, "write asg output in the delta+varint compressed (v2) edge format")
 		shards     = flag.Int("shards", 1, "hash-partition asg output into N shard files (out.shard0..N-1)")
+		symmetric  = flag.Bool("symmetric", false, "write in-edge data for direction-optimized traversal: the symmetric flag with -symmetrize, else a transpose in-edge section")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -44,18 +45,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "convert: -shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *to, *minVerts, *symmetrize, *compress, *shards); err != nil {
+	if err := run(*in, *out, *to, *minVerts, *symmetrize, *compress, *shards, *symmetric); err != nil {
 		fmt.Fprintf(os.Stderr, "convert: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, to string, minVerts uint64, symmetrize, compress bool, shards int) error {
+func run(in, out, to string, minVerts uint64, symmetrize, compress bool, shards int, symmetric bool) error {
 	if compress && to != "asg" {
 		return fmt.Errorf("-compress only applies to -to asg output")
 	}
 	if shards > 1 && to != "asg" {
 		return fmt.Errorf("-shards only applies to -to asg output")
+	}
+	if symmetric && to != "asg" {
+		return fmt.Errorf("-symmetric only applies to -to asg output")
 	}
 	g, err := load(in, minVerts)
 	if err != nil {
@@ -72,14 +76,20 @@ func run(in, out, to string, minVerts uint64, symmetrize, compress bool, shards 
 		}
 	}
 
+	// A symmetrized output already stores both directions of every edge, so
+	// the symmetric flag serves in-edges for free; directed outputs pay for a
+	// transpose section instead.
+	wcfg := sem.WriteConfig{
+		Compress:  compress,
+		Symmetric: symmetric && symmetrize,
+		InEdges:   symmetric && !symmetrize,
+	}
 	if shards > 1 {
 		for k := 0; k < shards; k++ {
-			cfg := sem.ShardConfig{Shard: k, Shards: shards}
+			cfg := wcfg
+			cfg.Shard = &sem.ShardConfig{Shard: k, Shards: shards}
 			if err := writeFile(sem.ShardFileName(out, k), func(w io.Writer) error {
-				if compress {
-					return sem.WriteCSRShardCompressed(w, g, cfg)
-				}
-				return sem.WriteCSRShard(w, g, cfg)
+				return sem.Write(w, g, cfg)
 			}); err != nil {
 				return err
 			}
@@ -91,10 +101,7 @@ func run(in, out, to string, minVerts uint64, symmetrize, compress bool, shards 
 	if err := writeFile(out, func(w io.Writer) error {
 		switch to {
 		case "asg":
-			if compress {
-				return sem.WriteCSRCompressed(w, g)
-			}
-			return sem.WriteCSR(w, g)
+			return sem.Write(w, g, wcfg)
 		case "edgelist":
 			return graph.WriteEdgeList(w, g)
 		default:

@@ -39,6 +39,7 @@ func main() {
 		budget     = flag.Int("budget", 1<<20, "in-memory edge budget for -outofcore")
 		compress   = flag.Bool("compress", false, "write the delta+varint compressed (v2) edge format")
 		shards     = flag.Int("shards", 1, "hash-partition the graph into N shard files (out.shard0..N-1)")
+		symmetric  = flag.Bool("symmetric", false, "write in-edge data for direction-optimized traversal: the symmetric flag with -undirected, else a transpose in-edge section")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -50,13 +51,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gengraph: -shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
-	if err := run(*typ, *scale, *degree, *undirected, *weights, *seed, *out, *outOfCore, *budget, *compress, *shards); err != nil {
+	if err := run(*typ, *scale, *degree, *undirected, *weights, *seed, *out, *outOfCore, *budget, *compress, *shards, *symmetric); err != nil {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(typ string, scale, degree int, undirected bool, weights string, seed uint64, out string, outOfCore bool, budget int, compress bool, shards int) error {
+func run(typ string, scale, degree int, undirected bool, weights string, seed uint64, out string, outOfCore bool, budget int, compress bool, shards int, symmetric bool) error {
 	if outOfCore {
 		if compress {
 			// The external-sort builder streams fixed records straight to the
@@ -67,6 +68,11 @@ func run(typ string, scale, degree int, undirected bool, weights string, seed ui
 			// Hash partitioning permutes edges across files; the external-sort
 			// builder streams one sorted run and cannot scatter it.
 			return fmt.Errorf("-shards does not combine with -outofcore; generate raw and convert -shards afterwards")
+		}
+		if symmetric {
+			// The in-edge section needs the finished forward index (or the
+			// whole-graph transpose); the streaming writer has neither.
+			return fmt.Errorf("-symmetric does not combine with -outofcore; generate raw and convert -symmetric afterwards")
 		}
 		return runOutOfCore(typ, scale, degree, undirected, weights, seed, out, budget)
 	}
@@ -92,8 +98,23 @@ func run(typ string, scale, degree int, undirected bool, weights string, seed ui
 	if compress {
 		format = "compressed"
 	}
+	// An -undirected build already stores every edge in both directions, so
+	// the symmetric flag serves in-edges for free; directed graphs pay for a
+	// transpose section instead.
+	wcfg := sem.WriteConfig{
+		Compress:  compress,
+		Symmetric: symmetric && undirected,
+		InEdges:   symmetric && !undirected,
+	}
+	if symmetric {
+		if wcfg.Symmetric {
+			format += "+symmetric"
+		} else {
+			format += "+inedges"
+		}
+	}
 	if shards > 1 {
-		if err := writeShardFiles(out, g, compress, shards); err != nil {
+		if err := writeShardFiles(out, g, wcfg, shards); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s.shard0..%d (%s): %d vertices, %d edges, weighted=%v, undirected=%v\n",
@@ -101,10 +122,7 @@ func run(typ string, scale, degree int, undirected bool, weights string, seed ui
 		return nil
 	}
 	if err := writeFile(out, func(w io.Writer) error {
-		if compress {
-			return sem.WriteCSRCompressed(w, g)
-		}
-		return sem.WriteCSR(w, g)
+		return sem.Write(w, g, wcfg)
 	}); err != nil {
 		return err
 	}
@@ -133,15 +151,14 @@ func writeFile(path string, write func(io.Writer) error) error {
 }
 
 // writeShardFiles hash-partitions g into `shards` files named
-// base.shard0..N-1, each a complete ASG file with a shard map.
-func writeShardFiles(base string, g *graph.CSR[uint32], compress bool, shards int) error {
+// base.shard0..N-1, each a complete ASG file with a shard map (and, when the
+// write config asks, that shard's slice of the in-edge data).
+func writeShardFiles(base string, g *graph.CSR[uint32], wcfg sem.WriteConfig, shards int) error {
 	for k := 0; k < shards; k++ {
-		cfg := sem.ShardConfig{Shard: k, Shards: shards}
+		cfg := wcfg
+		cfg.Shard = &sem.ShardConfig{Shard: k, Shards: shards}
 		if err := writeFile(sem.ShardFileName(base, k), func(w io.Writer) error {
-			if compress {
-				return sem.WriteCSRShardCompressed(w, g, cfg)
-			}
-			return sem.WriteCSRShard(w, g, cfg)
+			return sem.Write(w, g, cfg)
 		}); err != nil {
 			return err
 		}

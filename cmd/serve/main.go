@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/sem"
 	"repro/internal/server"
 	"repro/internal/ssd"
@@ -119,7 +120,10 @@ func shardPaths(path string, shards int) ([]string, bool, error) {
 // load opens one graph (a plain file or a complete shard set) as a
 // server.Graph: decoded fully into an in-memory CSR, or mounted
 // semi-externally with one block-cached simulated flash device per shard.
-func load(spec graphSpec, prefetch, prefetchGap int) (server.Graph, error) {
+// When dir asks for bottom-up phases, in-memory mounts pair the CSR with its
+// transpose (semi-external mounts must carry an in-edge section in the file;
+// AddGraph enforces that).
+func load(spec graphSpec, prefetch, prefetchGap int, dir core.Direction) (server.Graph, error) {
 	g := server.Graph{Name: spec.name}
 	paths, sharded, err := shardPaths(spec.path, spec.shards)
 	if err != nil {
@@ -148,14 +152,20 @@ func load(spec graphSpec, prefetch, prefetchGap int) (server.Graph, error) {
 			if err != nil {
 				return g, err
 			}
-			g.Adj, g.Storage, g.Shards = csr, "im", len(stores)
+			if g.Adj, err = imAdjacency(csr, dir); err != nil {
+				return g, err
+			}
+			g.Storage, g.Shards = "im", len(stores)
 			return g, nil
 		}
 		csr, err := sem.LoadCSR[uint32](backings[0])
 		if err != nil {
 			return g, err
 		}
-		g.Adj, g.Storage = csr, "im"
+		if g.Adj, err = imAdjacency(csr, dir); err != nil {
+			return g, err
+		}
+		g.Storage = "im"
 		return g, nil
 	}
 	p, err := ssd.ProfileByName(spec.profile)
@@ -190,6 +200,19 @@ func load(spec graphSpec, prefetch, prefetchGap int) (server.Graph, error) {
 	return g, nil
 }
 
+// imAdjacency wraps an in-memory CSR for the requested direction: top-down
+// serves the CSR as is, anything else pairs it with its transpose.
+func imAdjacency(csr *graph.CSR[uint32], dir core.Direction) (graph.Adjacency[uint32], error) {
+	if dir == core.DirectionTopDown {
+		return csr, nil
+	}
+	rev, err := graph.Transpose(csr)
+	if err != nil {
+		return nil, err
+	}
+	return graph.NewBidi[uint32](csr, rev)
+}
+
 func main() {
 	var specs []graphSpec
 	var (
@@ -204,6 +227,7 @@ func main() {
 		batch        = flag.Int("batch", 0, "engine mailbox batch size (0 = default)")
 		prefetch     = flag.Int("prefetch", 64, "SEM pop-window prefetch size (0 = off)")
 		prefgap      = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap coalesced into one prefetch read")
+		dirFlag      = flag.String("direction", "", "BFS direction policy: topdown (default), bottomup, or hybrid; non-topdown requires every -graph to carry in-edges")
 	)
 	flag.Func("graph", "graph to serve, as name=path[,sem[,profile]] (repeatable, required)", func(arg string) error {
 		s, err := parseSpec(arg)
@@ -219,6 +243,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	dir, err := core.ParseDirection(*dirFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	s := server.New(server.Config{
 		MaxConcurrent: *concurrency,
@@ -226,10 +255,10 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 		QueryTimeout:  *queryTimeout,
 		CacheEntries:  *cacheEntries,
-		Engine:        core.Config{Workers: *workers, SemiSort: *semisort, Batch: *batch, Prefetch: *prefetch},
+		Engine:        core.Config{Workers: *workers, SemiSort: *semisort, Batch: *batch, Prefetch: *prefetch, Direction: dir},
 	})
 	for _, spec := range specs {
-		g, err := load(spec, *prefetch, *prefgap)
+		g, err := load(spec, *prefetch, *prefgap, dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			if errors.Is(err, sem.ErrShardSpec) {
@@ -241,6 +270,11 @@ func main() {
 		}
 		if err := s.AddGraph(g); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			if errors.Is(err, core.ErrNoInEdges) {
+				// The graph file cannot honor the requested direction: a
+				// usage error caught at startup, not per query.
+				os.Exit(2)
+			}
 			os.Exit(1)
 		}
 		if g.Shards > 1 {

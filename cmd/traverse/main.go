@@ -46,17 +46,18 @@ func main() {
 		prefgap  = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap bridged when coalescing prefetched adjacency extents into one device read")
 		check    = flag.Bool("check", false, "verify async results against the serial baseline")
 		shards   = flag.Int("shards", 0, "mount graph.shard0..N-1 as one sharded graph (0 = auto-detect from the files present)")
+		dirFlag  = flag.String("direction", "", "BFS direction policy: topdown (default), bottomup, or hybrid; non-topdown needs a graph with in-edges (gengraph/convert -symmetric)")
 	)
 	flag.Parse()
-	if err := validate(*path, *algo, *engine, *workers, *ranks, *semMode, *profile, *shards); err != nil {
+	if err := validate(*path, *algo, *engine, *workers, *ranks, *semMode, *profile, *shards, *dirFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *nocache, *profile, *semisort, *batch, *prefetch, *prefgap, *check, *shards); err != nil {
+	if err := run(*path, *algo, *engine, *workers, *ranks, *src, *autoSrc, *semMode, *nocache, *profile, *semisort, *batch, *prefetch, *prefgap, *check, *shards, *dirFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "traverse: %v\n", err)
-		if errors.Is(err, sem.ErrShardSpec) {
-			// The shard files contradict the requested mount: a usage error,
-			// not a runtime failure.
+		if errors.Is(err, sem.ErrShardSpec) || errors.Is(err, core.ErrNoInEdges) {
+			// The files contradict the requested mount or capability: a usage
+			// error, not a runtime failure.
 			os.Exit(2)
 		}
 		os.Exit(1)
@@ -73,8 +74,9 @@ var engines = map[string][]string{
 }
 
 // validate rejects bad flag combinations up front: unknown algorithm or
-// engine, missing graph or shard files, and non-positive parallelism.
-func validate(path, algo, engine string, workers, ranks int, semMode bool, profile string, shards int) error {
+// engine, missing graph or shard files, non-positive parallelism, and
+// direction policies the requested algorithm/engine pair cannot honor.
+func validate(path, algo, engine string, workers, ranks int, semMode bool, profile string, shards int, direction string) error {
 	if path == "" {
 		return fmt.Errorf("-graph is required (a file produced by gengraph)")
 	}
@@ -105,6 +107,13 @@ func validate(path, algo, engine string, workers, ranks int, semMode bool, profi
 		if _, err := ssd.ProfileByName(profile); err != nil {
 			return err
 		}
+	}
+	dir, err := core.ParseDirection(direction)
+	if err != nil {
+		return err
+	}
+	if dir != core.DirectionTopDown && (algo != "bfs" || engine != "async") {
+		return fmt.Errorf("-direction %s requires -algo bfs -engine async (got -algo %s -engine %s)", dir, algo, engine)
 	}
 	return nil
 }
@@ -141,7 +150,11 @@ func shardPaths(path string, shards int) ([]string, bool, error) {
 	return paths, true, nil
 }
 
-func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode, nocache bool, profile string, semisort bool, batch, prefetch, prefetchGap int, check bool, shards int) error {
+func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, semMode, nocache bool, profile string, semisort bool, batch, prefetch, prefetchGap int, check bool, shards int, direction string) error {
+	dir, err := core.ParseDirection(direction)
+	if err != nil {
+		return err
+	}
 	paths, sharded, err := shardPaths(path, shards)
 	if err != nil {
 		return err
@@ -233,6 +246,20 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		fmt.Printf("in-memory: %d vertices, %d edges, weighted=%v\n",
 			im.NumVertices(), im.NumEdges(), im.Weighted())
 		adj = im
+		if dir != core.DirectionTopDown {
+			// An in-memory mount can always serve reverse adjacency: pair the
+			// CSR with its transpose (the on-flash in-edge section only
+			// matters when the edges stay on the device).
+			rev, err := graph.Transpose(im)
+			if err != nil {
+				return err
+			}
+			bidi, err := graph.NewBidi[uint32](im, rev)
+			if err != nil {
+				return err
+			}
+			adj = bidi
+		}
 	}
 
 	if autoSrc && src == 0 && algo != "cc" {
@@ -240,7 +267,16 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		fmt.Printf("source: %d (max degree %d)\n", src, adj.Degree(uint32(src)))
 	}
 
-	cfg := core.Config{Workers: workers, SemiSort: semisort, Batch: batch, Prefetch: prefetch}
+	cfg := core.Config{Workers: workers, SemiSort: semisort, Batch: batch, Prefetch: prefetch, Direction: dir}
+	if dir != core.DirectionTopDown {
+		if _, ok := graph.InEdges[uint32](adj); !ok {
+			return fmt.Errorf("%w: -direction %s needs a graph written with in-edges (gengraph/convert -symmetric)", core.ErrNoInEdges, dir)
+		}
+		// Derive the switch thresholds from the mounted graph's degree shape
+		// instead of one-size-fits-all constants.
+		cfg.Alpha, cfg.Beta = graph.DegreesOf[uint32](adj).DirectionThresholds()
+		fmt.Printf("direction: %s (alpha=%d beta=%d)\n", dir, cfg.Alpha, cfg.Beta)
+	}
 	start := time.Now()
 	switch {
 	case algo == "bfs" && engine == "async":
@@ -250,6 +286,10 @@ func run(path, algo, engine string, workers, ranks int, src uint64, autoSrc, sem
 		}
 		report(start, res.Stats.String())
 		fmt.Printf("levels=%d visited=%.1f%%\n", res.NumLevels(), 100*res.FracVisited())
+		if dir != core.DirectionTopDown {
+			fmt.Printf("direction: topdown=%d bottomup=%d switches=%d peakFrontier=%d\n",
+				res.Stats.TopDownPhases, res.Stats.BottomUpPhases, res.Stats.DirectionSwitches, res.Stats.PeakFrontier)
+		}
 		if check {
 			want, err := baseline.SerialBFS(adj, uint32(src))
 			if err != nil {
@@ -415,6 +455,10 @@ func reportSemIO(devs []*ssd.Device, caches []*sem.CachedStore, sgs []*sem.Graph
 	if ps.Windows > 0 {
 		fmt.Printf("prefetch: windows=%d vertices=%d spans=%d v/span=%.1f spanBytes=%d gapBytes=%d consumed=%.0f%%\n",
 			ps.Windows, ps.Vertices, ps.Spans, ps.VertsPerSpan(), ps.SpanBytes, ps.GapBytes, 100*ps.ConsumedFrac())
+	}
+	if ps.ScanSpans > 0 {
+		fmt.Printf("scan: spans=%d spanBytes=%d avgSpan=%.0fB\n",
+			ps.ScanSpans, ps.ScanBytes, float64(ps.ScanBytes)/float64(ps.ScanSpans))
 	}
 }
 

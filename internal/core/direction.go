@@ -1,0 +1,437 @@
+package core
+
+// This file is the direction-optimizing BFS driver. The paper's asynchronous
+// engine wins by removing barriers, but the densest frontier phases of
+// scale-free graphs — where most edge traffic lives — are won by a different
+// trick (Beamer-style direction switching, PAPERS.md): when the frontier's
+// out-edges outnumber the unexplored region's, stop pushing and instead let
+// every unvisited vertex scan its in-edges for a settled parent, breaking out
+// of the scan at the first hit. A hub vertex with a million in-edges is then
+// settled by one probe instead of receiving a million pushes.
+//
+// The driver is deliberately NOT the asynchronous engine: bottom-up scanning
+// is only correct when "settled parent" is well-defined, which requires
+// level-synchronous phases. DirectionTopDown (the default) therefore routes
+// BFS through the unchanged asynchronous kernel, and the hybrid driver here
+// runs its own barrier-per-level loop — the direction dimension of the
+// experiments measures exactly this trade (async ownership vs phase-switched
+// direction) per graph family.
+//
+// Phase correctness: top-down phases settle vertices with a CAS on the level
+// word (Inf -> level+1); the CAS winner alone writes the parent and appends
+// to its per-worker next-frontier list. Bottom-up phases partition the vertex
+// id space, so each worker settles only vertices in its own range (plain
+// store, atomic so concurrent phase readers see no torn word). All cross-
+// phase visibility goes through the WaitGroup barrier. Levels are therefore
+// deterministic and bit-identical to the asynchronous kernel's: a vertex's
+// BFS level does not depend on which direction discovered it.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Direction selects the BFS traversal direction policy.
+type Direction int
+
+const (
+	// DirectionTopDown expands frontier vertices' out-edges — the classical
+	// push direction, run on the asynchronous engine. The default.
+	DirectionTopDown Direction = iota
+	// DirectionBottomUp forces every phase to scan unvisited vertices'
+	// in-edges for a settled parent. An ablation extreme: profitable only for
+	// dense phases, pathological on long-diameter graphs.
+	DirectionBottomUp
+	// DirectionHybrid switches per phase on the α/β frontier heuristics:
+	// bottom-up while the frontier is dense, top-down otherwise.
+	DirectionHybrid
+)
+
+// Default α/β switch thresholds (Config.Alpha, Config.Beta), the classical
+// direction-optimizing values. Mount paths that know the degree distribution
+// derive graph-specific values with graph.DegreeStats.DirectionThresholds.
+const (
+	DefaultAlpha = 14
+	DefaultBeta  = 24
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirectionBottomUp:
+		return "bottomup"
+	case DirectionHybrid:
+		return "hybrid"
+	default:
+		return "topdown"
+	}
+}
+
+// ParseDirection parses the CLI spelling of a direction policy.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "topdown", "":
+		return DirectionTopDown, nil
+	case "bottomup":
+		return DirectionBottomUp, nil
+	case "hybrid":
+		return DirectionHybrid, nil
+	}
+	return DirectionTopDown, fmt.Errorf("core: unknown direction %q (want topdown, bottomup, or hybrid)", s)
+}
+
+// ErrNoInEdges reports a bottom-up or hybrid traversal requested against a
+// back end without reverse-adjacency capability (graph.InEdges): an
+// in-memory graph not wrapped in a Bidi pairing, or a semi-external store
+// written without an in-edge section or symmetric flag. Front ends map it to
+// usage errors.
+var ErrNoInEdges = errors.New("backend has no in-edge capability")
+
+// serialPhaseEdges is the work estimate below which a phase runs inline in
+// the driver goroutine instead of fanning out: on long-diameter graphs
+// (chains, grids) every frontier is a handful of vertices and per-level
+// goroutine spawns would dominate the traversal.
+const serialPhaseEdges = 2048
+
+// dirDriver is the per-traversal state of the hybrid driver.
+type dirDriver[V graph.Vertex] struct {
+	g      graph.Adjacency[V]
+	in     graph.InAdjacency[V]
+	scan   graph.InScanner[V]      // nil when in lacks bulk range scanning
+	batch  graph.BatchAdjacency[V] // nil when g lacks read-ahead batching
+	window int                     // cfg.Prefetch: top-down announce width
+	level  []graph.Dist
+	parent []V
+	n      uint64
+}
+
+// unvisited is the bottom-up need predicate: consulted (atomically — other
+// workers are settling their own ranges concurrently) before any I/O or
+// decode is spent on a vertex.
+//
+//lint:hotpath
+func (d *dirDriver[V]) unvisited(v V) bool {
+	return atomic.LoadUint64(&d.level[v]) == graph.InfDist
+}
+
+// dirWorker is one phase worker's private state, reused across phases.
+type dirWorker[V graph.Vertex] struct {
+	scratch *graph.Scratch[V]
+	next    []V    // vertices this worker settled in the current phase
+	mf      uint64 // out-degree sum of next (frontier edges of the next phase)
+	visits  uint64 // vertices expanded (TD) or probed with in-lists (BU)
+	edges   uint64 // edges examined
+	err     error
+}
+
+// grow doubles next's capacity; kept out of the hotpath append sites so they
+// stay allocation-free on the common path.
+func (w *dirWorker[V]) grow() {
+	next := make([]V, len(w.next), 2*cap(w.next)+64)
+	copy(next, w.next)
+	w.next = next
+}
+
+// topDown expands one slice of the current frontier: the CAS winner on a
+// neighbor's level word settles it, records the parent, and claims it for
+// the next frontier. On batching back ends (the semi-external store, the
+// shard router) each window of frontier vertices is announced before its
+// expansions run — the pop-window trick of the asynchronous engine — so
+// adjacency reads are in flight concurrently even in a width-1 phase; without
+// it, the trickle phases of high-diameter graphs would pay one full device
+// latency per vertex that the top-down async kernel overlaps.
+//
+//lint:hotpath
+func (w *dirWorker[V]) topDown(d *dirDriver[V], frontier []V, nextLevel uint64) {
+	for len(frontier) > 0 {
+		win := frontier
+		if d.window > 1 && len(win) > d.window {
+			win = win[:d.window]
+		}
+		frontier = frontier[len(win):]
+		if d.batch != nil && d.window > 1 && len(win) > 1 {
+			d.batch.NeighborsBatch(win, w.scratch)
+		}
+		for _, u := range win {
+			w.visits++
+			targets, _, err := d.g.Neighbors(u, w.scratch)
+			if err != nil {
+				w.err = err
+				return
+			}
+			w.edges += uint64(len(targets))
+			for _, t := range targets {
+				if atomic.LoadUint64(&d.level[t]) != graph.InfDist {
+					continue
+				}
+				if atomic.CompareAndSwapUint64(&d.level[t], graph.InfDist, nextLevel) {
+					d.parent[t] = u
+					w.mf += uint64(d.g.Degree(t))
+					if len(w.next) == cap(w.next) {
+						w.grow()
+					}
+					w.next = append(w.next, t)
+				}
+			}
+		}
+	}
+}
+
+// probe is the bottom-up relaxation for one unvisited vertex: scan its
+// in-neighbors for a member of the current frontier (level == curLevel) and
+// settle at the first hit. The store is exclusive — v lies in this worker's
+// id range — and atomic so concurrent unvisited() readers never tear.
+//
+//lint:hotpath
+func (w *dirWorker[V]) probe(d *dirDriver[V], v V, in []V, curLevel uint64) error {
+	w.visits++
+	w.edges += uint64(len(in))
+	for _, u := range in {
+		if atomic.LoadUint64(&d.level[u]) != curLevel {
+			continue
+		}
+		atomic.StoreUint64(&d.level[v], curLevel+1)
+		d.parent[v] = u
+		w.mf += uint64(d.g.Degree(v))
+		if len(w.next) == cap(w.next) {
+			w.grow()
+		}
+		w.next = append(w.next, v)
+		break
+	}
+	return nil
+}
+
+// buVisitor adapts probe to the InScanner visit signature for one phase.
+type buVisitor[V graph.Vertex] struct {
+	d        *dirDriver[V]
+	w        *dirWorker[V]
+	curLevel uint64
+}
+
+func (b *buVisitor[V]) visit(v V, in []V) error {
+	return b.w.probe(b.d, v, in, b.curLevel)
+}
+
+// bottomUp scans this worker's vertex-id range for unvisited vertices with a
+// settled in-neighbor. Back ends with bulk scanning (the semi-external store,
+// the shard router) stream the range in storage order — the SEM sequential-
+// scan phase; others fall back to per-vertex in-neighbor reads.
+func (w *dirWorker[V]) bottomUp(d *dirDriver[V], lo, hi V, curLevel uint64) {
+	b := &buVisitor[V]{d: d, w: w, curLevel: curLevel}
+	if d.scan != nil {
+		if err := d.scan.ScanInEdges(lo, hi, d.unvisited, b.visit, w.scratch); err != nil {
+			w.err = err
+		}
+		return
+	}
+	for v := lo; v < hi; v++ {
+		if !d.unvisited(v) {
+			continue
+		}
+		in, err := d.in.InNeighbors(v, w.scratch)
+		if err != nil {
+			w.err = err
+			return
+		}
+		if len(in) == 0 {
+			continue
+		}
+		if err := b.visit(v, in); err != nil {
+			w.err = err
+			return
+		}
+	}
+}
+
+// phaseWorkers scales the fan-out to the phase's work estimate, capped at the
+// configured worker count: small phases run inline (see serialPhaseEdges),
+// large ones use the full width — for SEM mounts the oversubscription hides
+// device latency exactly as in the asynchronous engine.
+func phaseWorkers(max int, work uint64) int {
+	if work <= serialPhaseEdges {
+		return 1
+	}
+	w := int(work / serialPhaseEdges)
+	if w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// hybridBFS is the level-synchronous direction-optimizing BFS driver, the
+// BFS path for DirectionBottomUp and DirectionHybrid. cfg.Direction selects
+// the policy; Alpha/Beta tune the hybrid switch points. The resulting levels
+// are bit-identical to the asynchronous kernel's (BFS levels are unique);
+// parents are structurally valid tree edges, as everywhere else.
+func hybridBFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V], error) {
+	cfg.normalize()
+	in, ok := graph.InEdges(g)
+	if !ok {
+		return nil, fmt.Errorf("core: direction %s: %w", cfg.Direction, ErrNoInEdges)
+	}
+	n := g.NumVertices()
+	if uint64(src) >= n {
+		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)
+	}
+	res := &BFSResult[V]{
+		Level:  make([]graph.Dist, n),
+		Parent: make([]V, n),
+	}
+	initLabels(res.Level, res.Parent)
+	d := &dirDriver[V]{g: g, in: in, level: res.Level, parent: res.Parent, n: n, window: cfg.Prefetch}
+	d.scan, _ = g.(graph.InScanner[V])
+	d.batch, _ = g.(graph.BatchAdjacency[V])
+
+	workers := make([]*dirWorker[V], cfg.Workers)
+	for i := range workers {
+		workers[i] = &dirWorker[V]{scratch: &graph.Scratch[V]{}}
+	}
+
+	// mu tracks the out-edge count of the unexplored region for the α
+	// heuristic; mf is the current frontier's out-edge count.
+	var mu uint64
+	if ne, ok := g.(interface{ NumEdges() uint64 }); ok {
+		mu = ne.NumEdges()
+	} else {
+		for v := uint64(0); v < n; v++ {
+			mu += uint64(g.Degree(V(v)))
+		}
+	}
+
+	d.level[src] = 0
+	d.parent[src] = src
+	frontier := []V{src}
+	mf := uint64(g.Degree(src))
+	mu -= mf
+
+	st := Stats{Workers: cfg.Workers}
+	useBU := cfg.Direction == DirectionBottomUp
+	var curLevel, prevNf uint64
+	for len(frontier) > 0 {
+		if ctx := cfg.Context; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		nf := uint64(len(frontier))
+		if nf > st.PeakFrontier {
+			st.PeakFrontier = nf
+		}
+		if cfg.Direction == DirectionHybrid {
+			// Beamer's heuristics: go bottom-up when a growing frontier's edges
+			// outnumber 1/α of the unexplored edges (pushes would mostly hit
+			// settled vertices), return top-down when the frontier thins below
+			// n/β (scanning all unvisited vertices would dwarf the pushes).
+			// Multiplication form keeps the comparisons exact — integer mu/α
+			// truncates to 0 on the last levels of long-diameter graphs and
+			// would flip a one-vertex frontier bottom-up — and the growing
+			// requirement keeps constant trickle frontiers (chains, grids)
+			// top-down for good.
+			was := useBU
+			if useBU {
+				useBU = nf*uint64(cfg.Beta) >= n
+			} else {
+				useBU = nf > prevNf && mf*uint64(cfg.Alpha) > mu
+			}
+			if useBU != was {
+				st.DirectionSwitches++
+			}
+		}
+
+		var width int
+		if useBU {
+			st.BottomUpPhases++
+			width = phaseWorkers(cfg.Workers, mu+nf)
+		} else {
+			st.TopDownPhases++
+			width = phaseWorkers(cfg.Workers, mf)
+			if d.batch != nil && d.window > 1 {
+				// On an I/O-backed store the phase is latency-bound, not
+				// CPU-bound: fan out by announce windows so every frontier
+				// vertex's read is in flight at once, matching the overlap the
+				// asynchronous kernel gets from its per-worker pop windows.
+				if byWin := (len(frontier) + d.window - 1) / d.window; byWin > width {
+					width = byWin
+					if width > cfg.Workers {
+						width = cfg.Workers
+					}
+				}
+			}
+		}
+
+		if width == 1 {
+			w := workers[0]
+			if useBU {
+				w.bottomUp(d, 0, V(n), curLevel)
+			} else {
+				w.topDown(d, frontier, curLevel+1)
+			}
+		} else {
+			var wg sync.WaitGroup
+			if useBU {
+				chunk := (n + uint64(width) - 1) / uint64(width)
+				for i := 0; i < width; i++ {
+					lo := uint64(i) * chunk
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					if lo >= hi {
+						continue
+					}
+					wg.Add(1)
+					go func(w *dirWorker[V], lo, hi uint64) {
+						defer wg.Done()
+						w.bottomUp(d, V(lo), V(hi), curLevel)
+					}(workers[i], lo, hi)
+				}
+			} else {
+				chunk := (len(frontier) + width - 1) / width
+				for i := 0; i < width; i++ {
+					lo := i * chunk
+					hi := lo + chunk
+					if hi > len(frontier) {
+						hi = len(frontier)
+					}
+					if lo >= hi {
+						continue
+					}
+					wg.Add(1)
+					go func(w *dirWorker[V], part []V) {
+						defer wg.Done()
+						w.topDown(d, part, curLevel+1)
+					}(workers[i], frontier[lo:hi])
+				}
+			}
+			wg.Wait()
+		}
+
+		// Fold the phase: gather per-worker next-frontiers and counters, then
+		// reset worker state for the next level.
+		frontier = frontier[:0]
+		mf = 0
+		for _, w := range workers {
+			if w.err != nil {
+				return nil, w.err
+			}
+			frontier = append(frontier, w.next...)
+			mf += w.mf
+			st.Visits += w.visits
+			st.Pushes += w.edges
+			w.next = w.next[:0]
+			w.mf, w.visits, w.edges = 0, 0, 0
+		}
+		mu -= mf
+		prevNf = nf
+		curLevel++
+	}
+	res.Stats = st
+	return res, nil
+}

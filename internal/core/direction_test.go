@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sem"
+)
+
+// semMirrorCfg serializes g per cfg and reopens it, so traversals exercise
+// the SEM read paths (including the in-edge section / symmetric flag).
+func semMirrorCfg(t testing.TB, g *graph.CSR[uint32], cfg sem.WriteConfig) *sem.Graph[uint32] {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sem.Write(&buf, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sem.Open[uint32](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+// semShardedMirror writes g as a shard set per cfg (plus the shard field) and
+// mounts the shard router over the reopened members.
+func semShardedMirror(t testing.TB, g *graph.CSR[uint32], shards int, cfg sem.WriteConfig) *graph.Sharded[uint32] {
+	t.Helper()
+	gs := make([]*sem.Graph[uint32], shards)
+	for k := 0; k < shards; k++ {
+		var buf bytes.Buffer
+		c := cfg
+		c.Shard = &sem.ShardConfig{Shard: k, Shards: shards}
+		if err := sem.Write(&buf, g, c); err != nil {
+			t.Fatal(err)
+		}
+		sg, err := sem.Open[uint32](bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs[k] = sg
+	}
+	mount, err := sem.MountShards(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mount
+}
+
+// bidiIM pairs an in-memory CSR with its transpose (raw back end).
+func bidiIM(t testing.TB, g *graph.CSR[uint32]) *graph.Bidi[uint32] {
+	t.Helper()
+	rev, err := graph.Transpose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := graph.NewBidi[uint32](g, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// bidiCompressed pairs the compressed CSR with its compressed transpose.
+func bidiCompressed(t testing.TB, g *graph.CSR[uint32]) *graph.Bidi[uint32] {
+	t.Helper()
+	c, err := graph.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := graph.TransposeCompressed(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := graph.NewBidi[uint32](c, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDirectionEquivalence is the direction-dimension property test: BFS
+// levels must be bit-identical across topdown (the asynchronous kernel),
+// forced bottomup, and hybrid, on every direction-capable back end — IM
+// raw/compressed Bidi pairings, symmetric IM, SEM v1/v2 with in-edge
+// sections, SEM symmetric, and a sharded SEM mount — against the serial
+// baseline. Parents are checked structurally (a parent must sit exactly one
+// level above its child), the same contract the async kernel's tests use.
+func TestDirectionEquivalence(t *testing.T) {
+	type workload struct {
+		name string
+		g    graph.Adjacency[uint32]
+		base *graph.CSR[uint32] // logical graph for the serial baseline
+	}
+	var workloads []workload
+	for seed := uint64(1); seed <= 2; seed++ {
+		rm, err := gen.RMAT[uint32](8, 8, gen.RMATA, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads,
+			workload{fmt.Sprintf("rmat-%d-im-raw", seed), bidiIM(t, rm), rm},
+			workload{fmt.Sprintf("rmat-%d-im-compressed", seed), bidiCompressed(t, rm), rm},
+			workload{fmt.Sprintf("rmat-%d-sem-v1", seed), semMirrorCfg(t, rm, sem.WriteConfig{InEdges: true}), rm},
+			workload{fmt.Sprintf("rmat-%d-sem-v2", seed), semMirrorCfg(t, rm, sem.WriteConfig{Compress: true, InEdges: true}), rm},
+			workload{fmt.Sprintf("rmat-%d-sem-sharded-v1", seed), semShardedMirror(t, rm, 3, sem.WriteConfig{InEdges: true}), rm},
+			workload{fmt.Sprintf("rmat-%d-sem-sharded-v2", seed), semShardedMirror(t, rm, 3, sem.WriteConfig{Compress: true, InEdges: true}), rm},
+		)
+	}
+	ug := randomUndirected(t, 400, 1200, 7)
+	workloads = append(workloads,
+		workload{"undirected-im-symmetric", graph.NewSymmetric[uint32](ug), ug},
+		workload{"undirected-sem-symmetric-v1", semMirrorCfg(t, ug, sem.WriteConfig{Symmetric: true}), ug},
+		workload{"undirected-sem-symmetric-v2", semMirrorCfg(t, ug, sem.WriteConfig{Compress: true, Symmetric: true}), ug},
+		// Sharded symmetric members hold complete out-lists of their owned
+		// vertices, which double as complete in-lists on a symmetric graph.
+		workload{"undirected-sem-sharded-symmetric", semShardedMirror(t, ug, 3, sem.WriteConfig{Symmetric: true}), ug},
+	)
+	// A long chain keeps every frontier at one vertex: the serial-inline
+	// phase path, and the hybrid policy must never leave top-down.
+	chainB := graph.NewBuilder[uint32](512, false)
+	for v := uint32(0); v+1 < 512; v++ {
+		chainB.AddEdge(v, v+1, 1)
+		chainB.AddEdge(v+1, v, 1)
+	}
+	chain, err := chainB.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, workload{"chain-im", bidiIM(t, chain), chain})
+
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			src := uint32(0)
+			want, err := baseline.SerialBFS[uint32](w.base, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, dir := range []Direction{DirectionTopDown, DirectionBottomUp, DirectionHybrid} {
+				for _, workers := range []int{1, 6} {
+					res, err := BFS[uint32](w.g, src, Config{Workers: workers, Direction: dir})
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", dir, workers, err)
+					}
+					for v := range want {
+						if res.Level[v] != want[v] {
+							t.Fatalf("%s workers=%d: level[%d] = %d, want %d",
+								dir, workers, v, res.Level[v], want[v])
+						}
+					}
+					for v, lvl := range res.Level {
+						if lvl == graph.InfDist || uint32(v) == src {
+							continue
+						}
+						if p := res.Parent[v]; res.Level[p] != lvl-1 {
+							t.Fatalf("%s workers=%d: parent[%d]=%d at level %d, child at %d",
+								dir, workers, v, p, res.Level[p], lvl)
+						}
+					}
+					if dir != DirectionTopDown {
+						if got := res.Stats.TopDownPhases + res.Stats.BottomUpPhases; got == 0 {
+							t.Fatalf("%s: no phases recorded in stats", dir)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectionHybridStaysTopDownOnChain pins the β floor behavior: on a
+// path graph every frontier is one vertex, so the hybrid controller must
+// never pay for a bottom-up scan.
+func TestDirectionHybridStaysTopDownOnChain(t *testing.T) {
+	b := graph.NewBuilder[uint32](256, false)
+	for v := uint32(0); v+1 < 256; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	chain, err := b.Build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS[uint32](bidiIM(t, chain), 0, Config{Workers: 4, Direction: DirectionHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BottomUpPhases != 0 {
+		t.Fatalf("hybrid ran %d bottom-up phases on a chain", res.Stats.BottomUpPhases)
+	}
+	if res.Stats.DirectionSwitches != 0 {
+		t.Fatalf("hybrid switched direction %d times on a chain", res.Stats.DirectionSwitches)
+	}
+	if res.Stats.PeakFrontier != 1 {
+		t.Fatalf("peak frontier %d on a chain, want 1", res.Stats.PeakFrontier)
+	}
+}
+
+// TestDirectionRequiresInEdges pins the capability contract: a non-top-down
+// direction against a back end without reverse adjacency fails with
+// ErrNoInEdges (and the CLI maps that to a usage error).
+func TestDirectionRequiresInEdges(t *testing.T) {
+	g := randomDigraph(t, 100, 400, false, 3)
+	for _, dir := range []Direction{DirectionBottomUp, DirectionHybrid} {
+		_, err := BFS[uint32](g, 0, Config{Workers: 4, Direction: dir})
+		if err == nil {
+			t.Fatalf("%s on a plain CSR succeeded, want ErrNoInEdges", dir)
+		}
+		if !errors.Is(err, ErrNoInEdges) {
+			t.Fatalf("%s: error %v does not wrap ErrNoInEdges", dir, err)
+		}
+	}
+	// A sem store without an in-edge section declines dynamically.
+	sg := semMirrorCfg(t, g, sem.WriteConfig{})
+	if _, err := BFS[uint32](sg, 0, Config{Workers: 4, Direction: DirectionHybrid}); err == nil || !errors.Is(err, ErrNoInEdges) {
+		t.Fatalf("sem store without in-edges: got %v, want ErrNoInEdges", err)
+	}
+}
+
+// TestParseDirection covers the CLI spellings and the rejection path.
+func TestParseDirection(t *testing.T) {
+	for s, want := range map[string]Direction{
+		"":         DirectionTopDown,
+		"topdown":  DirectionTopDown,
+		"bottomup": DirectionBottomUp,
+		"hybrid":   DirectionHybrid,
+	} {
+		got, err := ParseDirection(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseDirection(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if s != "" && got.String() != s {
+			t.Fatalf("Direction(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseDirection("sideways"); err == nil {
+		t.Fatal("ParseDirection accepted garbage")
+	}
+}

@@ -83,6 +83,25 @@ type Config struct {
 	// as CoarseShift, and exclusive vertex ownership is untouched — every
 	// popped visitor still belongs to the popping worker.
 	Prefetch int
+	// Direction selects the BFS traversal direction policy (see direction.go):
+	// DirectionTopDown (the default) runs the pure asynchronous
+	// label-correcting kernel unchanged; DirectionHybrid switches per phase
+	// between top-down expansion and bottom-up in-edge scanning on the α/β
+	// frontier heuristics; DirectionBottomUp forces every phase bottom-up (the
+	// ablation extreme). Non-top-down directions require a back end with
+	// reverse-adjacency capability (graph.InEdges) and apply to BFS only —
+	// SSSP and CC ignore the knob, as label-correcting with weights has no
+	// bottom-up formulation here.
+	Direction Direction
+	// Alpha is the top-down→bottom-up switch threshold: a hybrid traversal
+	// goes bottom-up when the frontier's out-edge count exceeds 1/Alpha of
+	// the unexplored edges. 0 selects DefaultAlpha; mount paths derive a
+	// graph-specific value via graph.DegreeStats.DirectionThresholds.
+	Alpha int
+	// Beta is the bottom-up→top-down switch threshold: a hybrid traversal
+	// returns top-down when the frontier shrinks below NumVertices/Beta.
+	// 0 selects DefaultBeta.
+	Beta int
 	// Context, when non-nil, cancels the traversal: the moment the context is
 	// done the engine aborts with ctx.Err(), workers stop popping, blocked
 	// workers are woken, and Wait returns the cancellation error. A serving
@@ -131,6 +150,15 @@ func (c *Config) normalize() {
 	if c.Queue != QueueHeap && c.Queue != QueueBucket {
 		c.Queue = QueueHeap
 	}
+	if c.Direction < DirectionTopDown || c.Direction > DirectionHybrid {
+		c.Direction = DirectionTopDown
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Beta <= 0 {
+		c.Beta = DefaultBeta
+	}
 	if c.CoarseShift > 64 {
 		// Priorities are 64-bit; every shift >= 64 coarsens all priorities
 		// into one bucket, so 64 is the canonical saturating value.
@@ -168,6 +196,13 @@ type Stats struct {
 	// WorkerVisits is the per-worker visit count, for load-balance analysis
 	// (§III-A: the near-uniform hash should spread hub vertices evenly).
 	WorkerVisits []uint64
+
+	// Direction-controller counters (see direction.go); all zero for
+	// traversals run by the asynchronous engine itself (the top-down default).
+	TopDownPhases     int    // level-synchronous phases expanded top-down
+	BottomUpPhases    int    // phases executed as bottom-up in-edge scans
+	DirectionSwitches int    // direction changes between consecutive phases
+	PeakFrontier      uint64 // largest per-phase frontier (vertices)
 }
 
 // Imbalance returns max-visits-per-worker divided by mean (1.0 = perfectly

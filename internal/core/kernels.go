@@ -147,6 +147,12 @@ func BFS[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config) (*BFSResult[V]
 }
 
 func bfsKernel[V graph.Vertex](g graph.Adjacency[V], src V, cfg Config, pool *EnginePool[V]) (*BFSResult[V], error) {
+	cfg.normalize()
+	if cfg.Direction != DirectionTopDown {
+		// Bottom-up and hybrid BFS run the level-synchronous direction driver,
+		// which needs no engine resources (the pool, if any, stays untouched).
+		return hybridBFS(g, src, cfg)
+	}
 	n := g.NumVertices()
 	if uint64(src) >= n {
 		return nil, fmt.Errorf("core: source %d out of range for %d vertices", src, n)

@@ -13,6 +13,22 @@ func Transpose[V Vertex](g *CSR[V]) (*CSR[V], error) {
 	return b.Build(false)
 }
 
+// TransposeCompressed returns the delta+varint compressed reverse of c, the
+// in-edge side of a Bidi pairing over compressed storage. The round trip
+// (decompress, transpose, recompress) runs once at mount time; traversal
+// then decodes reverse blocks exactly like forward ones.
+func TransposeCompressed[V Vertex](c *CompressedCSR[V]) (*CompressedCSR[V], error) {
+	raw, err := c.Decompress()
+	if err != nil {
+		return nil, err
+	}
+	t, err := Transpose(raw)
+	if err != nil {
+		return nil, err
+	}
+	return Compress(t)
+}
+
 // DegreeStats summarizes an out-degree distribution, the property that
 // drives the paper's load-balance discussion (§I-B: hub vertices).
 type DegreeStats struct {
@@ -27,9 +43,19 @@ type DegreeStats struct {
 }
 
 // Degrees computes the out-degree distribution summary of g.
-func Degrees[V Vertex](g *CSR[V]) DegreeStats {
+func Degrees[V Vertex](g *CSR[V]) DegreeStats { return DegreesOf[V](g) }
+
+// DegreesOf computes the out-degree distribution summary of any adjacency
+// back end from its RAM-resident degree information — no edge I/O. Mount
+// paths use it to derive the direction controller's default thresholds from
+// the graph actually mounted (see DirectionThresholds).
+func DegreesOf[V Vertex](g Adjacency[V]) DegreeStats {
 	n := g.NumVertices()
-	st := DegreeStats{NumVerts: n, NumEdges: g.NumEdges()}
+	var m uint64
+	if ne, ok := g.(interface{ NumEdges() uint64 }); ok {
+		m = ne.NumEdges()
+	}
+	st := DegreeStats{NumVerts: n, NumEdges: m}
 	if n == 0 {
 		return st
 	}
@@ -50,6 +76,9 @@ func Degrees[V Vertex](g *CSR[V]) DegreeStats {
 		}
 	}
 	st.Mean = float64(total) / float64(n)
+	if st.NumEdges == 0 {
+		st.NumEdges = uint64(total)
+	}
 	top := n / 100
 	if top == 0 {
 		top = 1
@@ -62,4 +91,36 @@ func Degrees[V Vertex](g *CSR[V]) DegreeStats {
 		st.HubFrac = float64(hubEdges) / float64(total)
 	}
 	return st
+}
+
+// DirectionThresholds derives the hybrid direction controller's α/β switch
+// thresholds from the degree distribution, replacing one-size-fits-all
+// constants with the statistics of the mounted graph. The controller (see
+// internal/core) goes bottom-up when the frontier's out-edge count exceeds
+// 1/α of the unexplored edges and returns top-down when the frontier shrinks
+// below n/β vertices.
+//
+// Rationale: on hub-heavy graphs (high mean degree, edges concentrated on
+// the top 1%) the dense phases arrive early and bottom-up scans settle most
+// vertices after touching few in-edges, so switching should trigger sooner —
+// α grows with mean degree and hub concentration. Low-degree meshes and
+// chains (mean near 1, no hubs) get the floor values, which in practice
+// never trigger a switch — exactly right, since bottom-up scans would touch
+// every unvisited vertex per phase for frontiers of a handful of vertices. β
+// tracks 1.5x the mean degree, landing at the classic 24 for degree-16
+// scale-free graphs.
+func (st DegreeStats) DirectionThresholds() (alpha, beta int) {
+	clamp := func(x float64, lo, hi int) int {
+		v := int(x + 0.5)
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	alpha = clamp(st.Mean*(1+2*st.HubFrac), 4, 64)
+	beta = clamp(st.Mean*1.5, 8, 96)
+	return alpha, beta
 }

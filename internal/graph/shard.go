@@ -216,4 +216,76 @@ func (s *Sharded[V]) NeighborsBatch(vs []V, scratch *Scratch[V]) {
 	}
 }
 
-var _ BatchAdjacency[uint32] = (*Sharded[uint32])(nil)
+// HasInEdges reports whether every member can serve reverse adjacency, the
+// router's dynamic side of the InAdjacency capability: shard writers store a
+// vertex's in-edges on its owning member (the transpose is hash-partitioned
+// by destination, same as the forward adjacency by source), so the partition
+// is direction-capable only when every file carries its in-edge section.
+func (s *Sharded[V]) HasInEdges() bool {
+	for _, m := range s.members {
+		if _, ok := InEdges(m); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// InDegree implements InAdjacency by asking v's owning shard.
+//
+//lint:hotpath
+func (s *Sharded[V]) InDegree(v V) int {
+	k := ShardOf(uint64(v), len(s.members))
+	return s.members[k].(InAdjacency[V]).InDegree(v)
+}
+
+// InNeighbors implements InAdjacency: route to v's owning member with that
+// member's sub-scratch, exactly like Neighbors.
+//
+//lint:hotpath
+func (s *Sharded[V]) InNeighbors(v V, scratch *Scratch[V]) ([]V, error) {
+	if scratch == nil {
+		scratch = &Scratch[V]{}
+	}
+	k := ShardOf(uint64(v), len(s.members))
+	return s.members[k].(InAdjacency[V]).InNeighbors(v, s.state(scratch).subs[k])
+}
+
+// ScanInEdges implements InScanner by handing the range to every member:
+// each member holds the in-adjacency of exactly its owned vertices (zero
+// in-degree elsewhere), so the per-member scans partition the range's
+// in-edges and each stays sequential within its own store. Members without
+// bulk scan support fall back to per-vertex InNeighbors over their owned
+// ids.
+func (s *Sharded[V]) ScanInEdges(lo, hi V, need func(V) bool, visit func(v V, in []V) error, scratch *Scratch[V]) error {
+	if scratch == nil {
+		scratch = &Scratch[V]{}
+	}
+	ss := s.state(scratch)
+	for k, m := range s.members {
+		if sc, ok := m.(InScanner[V]); ok {
+			if err := sc.ScanInEdges(lo, hi, need, visit, ss.subs[k]); err != nil {
+				return err
+			}
+			continue
+		}
+		ia := m.(InAdjacency[V])
+		for v := lo; v < hi; v++ {
+			if ShardOf(uint64(v), len(s.members)) != k || !need(v) || ia.InDegree(v) == 0 {
+				continue
+			}
+			in, err := ia.InNeighbors(v, ss.subs[k])
+			if err != nil {
+				return err
+			}
+			if err := visit(v, in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var (
+	_ BatchAdjacency[uint32] = (*Sharded[uint32])(nil)
+	_ InScanner[uint32]      = (*Sharded[uint32])(nil)
+)

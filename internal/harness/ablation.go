@@ -8,6 +8,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/lockfree"
 	"repro/internal/sem"
 	"repro/internal/ssd"
@@ -534,13 +535,93 @@ func AblationWriteAsymmetry(o Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationDirection compares forced top-down, forced bottom-up, and the
+// frontier-adaptive hybrid controller on semi-external BFS (Table IV's
+// FusionIO profile). Scale-free RMAT frontiers go dense within a few phases,
+// so bottom-up in-edge scans settle most vertices from a handful of
+// sequential device spans; high-diameter chain/grid frontiers never cross the
+// α threshold and must stay top-down (the hybrid guard rows). Forced
+// bottom-up is omitted on the high-diameter rows — scanning every unvisited
+// vertex per phase is quadratic there, which is exactly why the controller
+// exists. Non-top-down mounts carry the on-flash in-edge section; top-down
+// rows mount the historical layout.
+func AblationDirection(o Options) (*Table, error) {
+	t := &Table{
+		Title: "Ablation: traversal direction (SEM BFS, FusionIO)",
+		Note:  "α/β derived per graph from degree stats; td/bu = phase counts, scanSpans = coalesced bottom-up degree-array reads",
+		Cols:  []string{"graph", "direction", "time(s)", "devReads", "readMB", "td", "bu", "switch", "scanSpans"},
+	}
+	scale := o.SEMScales[len(o.SEMScales)-1]
+	all := []core.Direction{core.DirectionTopDown, core.DirectionBottomUp, core.DirectionHybrid}
+	guard := []core.Direction{core.DirectionTopDown, core.DirectionHybrid}
+	type input struct {
+		name string
+		g    *graph.CSR[uint32]
+		src  uint32
+		dirs []core.Direction
+	}
+	var inputs []input
+	for _, variant := range rmatVariants {
+		g, err := gen.RMAT[uint32](scale, o.Degree, variant.Params, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, input{fmt.Sprintf("%s 2^%d", variant.Name, scale), g, pickSource(g), all})
+	}
+	chain, err := gen.Chain[uint32](1 << scale)
+	if err != nil {
+		return nil, err
+	}
+	inputs = append(inputs, input{fmt.Sprintf("chain 2^%d", scale), chain, 0, guard})
+	side := uint64(1) << (scale / 2)
+	grid, err := gen.Grid[uint32](side, side)
+	if err != nil {
+		return nil, err
+	}
+	inputs = append(inputs, input{fmt.Sprintf("grid %dx%d", side, side), grid, 0, guard})
+
+	// The scan-phase double buffering (and its ScanSpans/ScanBytes counters)
+	// lives in the prefetcher, so the ablation always mounts with the pipeline
+	// on — the direction comparison should not also toggle I/O overlap.
+	if o.Prefetch <= 1 {
+		o.Prefetch, o.PrefetchGap = 64, sem.DefaultPrefetchGap
+	}
+	for _, in := range inputs {
+		for _, dir := range in.dirs {
+			opts := o
+			opts.Direction = dir
+			cfg := opts.semBFSConfig(in.g)
+			var stats core.Stats
+			dur, io, err := timeSEM(opts, in.g, ssd.FusionIO, func(adj graph.Adjacency[uint32]) error {
+				res, err := core.BFS[uint32](adj, in.src, cfg)
+				if err == nil {
+					stats = res.Stats
+				}
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(in.name, dir.String(), Seconds(dur),
+				fmt.Sprintf("%d", io.Device.Reads),
+				fmt.Sprintf("%.1f", float64(io.Device.BytesRead)/(1<<20)),
+				fmt.Sprintf("%d", stats.TopDownPhases),
+				fmt.Sprintf("%d", stats.BottomUpPhases),
+				fmt.Sprintf("%d", stats.DirectionSwitches),
+				fmt.Sprintf("%d", io.Prefetch.ScanSpans))
+			o.logf("ablation-direction: %s %s done\n", in.name, dir)
+		}
+	}
+	return t, nil
+}
+
 // Ablations runs every ablation study.
 func Ablations(o Options) ([]*Table, error) {
 	var tables []*Table
 	for _, fn := range []func(Options) (*Table, error){
 		AblationOversubscription, AblationHash, AblationSemiSort, AblationCache,
 		AblationCoarsen, AblationEngine, AblationMailbox, AblationPrefetch,
-		AblationStripe, AblationSSSP, AblationWriteAsymmetry,
+		AblationStripe, AblationSSSP, AblationWriteAsymmetry, AblationDirection,
 	} {
 		tbl, err := fn(o)
 		if err != nil {

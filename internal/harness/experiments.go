@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/sem"
 	"repro/internal/ssd"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// prefetcher (0 or 1 = one store, the historical layout). SEMIO.PerShard
 	// carries the per-member device counters.
 	Shards int
+	// Direction selects the BFS phase policy for the semi-external tables
+	// (core.Config.Direction). Non-top-down values make every SEM mount carry
+	// an on-flash in-edge section, and BFS runs derive the α/β switch
+	// thresholds from each workload's degree statistics.
+	Direction core.Direction
 	// Fig1Threads and Fig1Duration control the IOPS sweep.
 	Fig1Threads  []int
 	Fig1Duration time.Duration
@@ -100,10 +106,38 @@ func (o *Options) edgeFormat() string {
 	if o.Compressed {
 		format = "compressed"
 	}
+	if o.Direction != core.DirectionTopDown {
+		format += "+inedges"
+	}
 	if o.Shards > 1 {
 		format = fmt.Sprintf("%s x%d shards", format, o.Shards)
 	}
 	return format
+}
+
+// writeConfig is the serialization recipe for every SEM mount the harness
+// builds: compressed v2 blocks under Compressed, plus an on-flash in-edge
+// section whenever the direction policy may run bottom-up phases.
+func (o *Options) writeConfig() sem.WriteConfig {
+	return sem.WriteConfig{
+		Compress: o.Compressed,
+		InEdges:  o.Direction != core.DirectionTopDown,
+	}
+}
+
+// semBFSConfig is the engine config for the SEM BFS measurements, with the
+// direction switch thresholds derived from g's degree statistics when a
+// non-top-down policy is selected (the same derivation cmd/traverse and the
+// server apply at mount time).
+func (o *Options) semBFSConfig(g *graph.CSR[uint32]) core.Config {
+	cfg := core.Config{
+		Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
+		Direction: o.Direction,
+	}
+	if o.Direction != core.DirectionTopDown {
+		cfg.Alpha, cfg.Beta = graph.DegreesOf[uint32](g).DirectionThresholds()
+	}
+	return cfg
 }
 
 func (o *Options) logf(format string, args ...any) {

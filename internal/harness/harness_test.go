@@ -141,6 +141,44 @@ func TestTable5Rows(t *testing.T) {
 	checkTable(t, tbl, 2*len(o.SEMScales)+1) // RMAT rows + one web row
 }
 
+func TestAblationDirection(t *testing.T) {
+	o := tiny()
+	tbl, err := AblationDirection(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two RMAT variants get all three directions; chain and grid only the
+	// top-down/hybrid guard pair.
+	checkTable(t, tbl, 2*3+2*2)
+	for i, row := range tbl.Rows {
+		name, dir := row[0], row[1]
+		rmat := strings.HasPrefix(name, "RMAT")
+		switch {
+		case dir == "hybrid" && rmat:
+			// Dense scale-free frontiers must cross the α threshold.
+			if cell(t, tbl, i, "bu") < 1 || cell(t, tbl, i, "switch") < 1 {
+				t.Fatalf("%s hybrid: no bottom-up phases (row %v)", name, row)
+			}
+			if cell(t, tbl, i, "scanSpans") < 1 {
+				t.Fatalf("%s hybrid: bottom-up ran without sequential scan spans", name)
+			}
+		case dir == "hybrid":
+			// One-vertex frontiers on chain/grid must never leave top-down.
+			if cell(t, tbl, i, "bu") != 0 || cell(t, tbl, i, "switch") != 0 {
+				t.Fatalf("%s hybrid left top-down (row %v)", name, row)
+			}
+		case dir == "bottomup":
+			if cell(t, tbl, i, "bu") < 1 {
+				t.Fatalf("%s forced bottom-up recorded no bottom-up phases", name)
+			}
+		case dir == "topdown":
+			if cell(t, tbl, i, "bu") != 0 {
+				t.Fatalf("%s top-down recorded bottom-up phases", name)
+			}
+		}
+	}
+}
+
 func TestFigure2AndAblations(t *testing.T) {
 	o := tiny()
 	tbl, err := Figure2(o)
@@ -152,8 +190,8 @@ func TestFigure2AndAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(abl) != 11 {
-		t.Fatalf("ablations = %d tables, want 11", len(abl))
+	if len(abl) != 12 {
+		t.Fatalf("ablations = %d tables, want 12", len(abl))
 	}
 	for _, tbl := range abl {
 		if len(tbl.Rows) == 0 {

@@ -221,16 +221,12 @@ func semMount(o Options, g *graph.CSR[uint32], p ssd.Profile) (*mountedSEM, erro
 	}
 	for k := 0; k < shards; k++ {
 		var buf bytes.Buffer
-		var err error
-		cfg := sem.ShardConfig{Shard: k, Shards: shards}
-		if o.Compressed {
-			err = sem.WriteCSRShardCompressed(&buf, g, cfg)
-		} else {
-			err = sem.WriteCSRShard(&buf, g, cfg)
-		}
-		if err != nil {
+		cfg := o.writeConfig()
+		cfg.Shard = &sem.ShardConfig{Shard: k, Shards: shards}
+		if err := sem.Write(&buf, g, cfg); err != nil {
 			return nil, err
 		}
+		var err error
 		m.devs[k] = ssd.New(p, &ssd.MemBacking{Data: buf.Bytes()})
 		budget := int64(buf.Len()) / o.CacheFrac
 		if budget < 64*1024 {
@@ -289,13 +285,7 @@ func timeSEM(o Options, g *graph.CSR[uint32], p ssd.Profile, run func(adj graph.
 // o.Prefetch asks for it.
 func semGraph(o Options, g *graph.CSR[uint32], p ssd.Profile) (*sem.Graph[uint32], *ssd.Device, *sem.CachedStore, error) {
 	var buf bytes.Buffer
-	var err error
-	if o.Compressed {
-		err = sem.WriteCSRCompressed(&buf, g)
-	} else {
-		err = sem.WriteCSR(&buf, g)
-	}
-	if err != nil {
+	if err := sem.Write(&buf, g, o.writeConfig()); err != nil {
 		return nil, nil, nil, err
 	}
 	dev := ssd.New(p, &ssd.MemBacking{Data: buf.Bytes()})
@@ -356,11 +346,10 @@ func Table4(o Options) (*Table, error) {
 				fmt.Sprintf("%d", g.NumVertices()), "", "", Seconds(bglTime),
 			}
 			var devReads uint64
+			cfg := o.semBFSConfig(g)
 			for _, p := range ssd.Profiles {
 				dur, io, err := timeSEM(o, g, p, func(adj graph.Adjacency[uint32]) error {
-					_, err := core.BFS[uint32](adj, src, core.Config{
-						Workers: o.SEMThreads, SemiSort: true, Prefetch: o.Prefetch,
-					})
+					_, err := core.BFS[uint32](adj, src, cfg)
 					return err
 				})
 				if err != nil {
@@ -378,8 +367,10 @@ func Table4(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			cfg1 := cfg
+			cfg1.Workers, cfg1.Prefetch = 1, 0
 			oneThread, err := timeIt(func() error {
-				_, err := core.BFS[uint32](mnt.adj, src, core.Config{Workers: 1, SemiSort: true})
+				_, err := core.BFS[uint32](mnt.adj, src, cfg1)
 				return err
 			})
 			if err != nil {

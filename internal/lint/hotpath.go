@@ -26,12 +26,19 @@ import (
 //     allocator traffic that a single sized make (or a cap() pre-grow check,
 //     as Heap.PopBatch does) would eliminate. A slice is considered hinted
 //     when the function assigns it a make with an explicit capacity or
-//     consults cap() on it.
+//     consults cap() on it;
+//   - slice allocation (make) inside a loop: a scan or probe loop that makes
+//     a fresh slice per iteration pays the allocator once per vertex — the
+//     bottom-up in-edge scan visits every unvisited vertex per phase, so this
+//     is a per-phase O(n) allocation storm. Hoist the make above the loop or
+//     reuse per-worker scratch. A make under an if whose condition consults
+//     cap() is the grow-on-overflow idiom (dirWorker.grow's call site) and
+//     stays quiet: it runs O(log n) times, not O(n).
 const hotpathName = "hotpath"
 
 var Hotpath = &Analyzer{
 	Name: hotpathName,
-	Doc:  "no fmt, time.Now, map allocation, closures, or uncapped append growth in //lint:hotpath functions",
+	Doc:  "no fmt, time.Now, map allocation, closures, uncapped append growth, or per-iteration slice makes in //lint:hotpath functions",
 	Run:  runHotpath,
 }
 
@@ -106,14 +113,19 @@ func runHotpath(p *Package) []Diagnostic {
 			for _, d := range appendGrowth(p, fn) {
 				flag(d, name, "append growth in a loop without a capacity hint (sized make or cap() pre-grow)")
 			}
+			for _, d := range sliceMakeInLoop(p, fn) {
+				flag(d, name, "slice allocation (make) inside a loop without a cap() growth guard; hoist it or reuse scratch")
+			}
 		}
 	}
 	return diags
 }
 
 // sliceObj resolves the slice variable an append or cap expression refers to:
-// the object of a plain identifier or of a selector's field. Nil for anything
-// more elaborate (index expressions etc.), which the growth rule then skips.
+// the object of a plain identifier, of a selector's field, or of either under
+// a reslicing (append(buf[:0], ...) reuses buf's backing array, so buf's
+// capacity hint carries over). Nil for anything more elaborate (index
+// expressions etc.), which the growth rule then skips.
 func sliceObj(p *Package, e ast.Expr) types.Object {
 	switch x := e.(type) {
 	case *ast.Ident:
@@ -123,6 +135,8 @@ func sliceObj(p *Package, e ast.Expr) types.Object {
 		return p.Info.Defs[x]
 	case *ast.SelectorExpr:
 		return p.Info.Uses[x.Sel]
+	case *ast.SliceExpr:
+		return sliceObj(p, x.X)
 	}
 	return nil
 }
@@ -136,6 +150,61 @@ func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
 	}
 	_, ok = p.Info.Uses[id].(*types.Builtin)
 	return ok
+}
+
+// sliceMakeInLoop returns the slice make calls lexically inside fn's loops
+// that are not under a cap() growth guard: an enclosing if whose condition
+// consults cap() marks the grow-on-overflow idiom, which allocates O(log n)
+// times rather than once per iteration.
+func sliceMakeInLoop(p *Package, fn *ast.FuncDecl) []ast.Node {
+	hasCap := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isBuiltin(p, call, "cap") {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	var bad []ast.Node
+	flagged := make(map[ast.Node]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		case *ast.FuncLit:
+			return false // closures are flagged (and skipped) wholesale above
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.IfStmt:
+				if hasCap(node.Cond) {
+					return false // grow-on-overflow: the make runs only when full
+				}
+			case *ast.CallExpr:
+				if !isBuiltin(p, node, "make") || len(node.Args) == 0 || flagged[node] {
+					return true
+				}
+				if t := p.Info.TypeOf(node.Args[0]); t != nil {
+					if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+						flagged[node] = true
+						bad = append(bad, node)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return bad
 }
 
 // appendGrowth returns the append calls inside fn's loops whose destination

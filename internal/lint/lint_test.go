@@ -94,6 +94,7 @@ func TestHotpath(t *testing.T) {
 		"hot.go:13": "map allocation (composite literal)",
 		"hot.go:14": "closure allocation",
 		"hot.go:47": "append growth in a loop without a capacity hint",
+		"hot.go:94": "slice allocation (make) inside a loop without a cap() growth guard",
 	})
 }
 

@@ -83,3 +83,57 @@ func coldGrow(vs []uint64) []uint64 {
 	}
 	return out
 }
+
+// hotScanAlloc allocates a fresh slice every iteration of its scan loop, the
+// per-vertex allocation storm the bottom-up rule exists for.
+//
+//lint:hotpath
+func hotScanAlloc(vs []uint64) uint64 {
+	var sum uint64
+	for _, v := range vs {
+		tmp := make([]uint64, 0, 4) // violation: slice make inside the loop
+		tmp = append(tmp, v)
+		sum += tmp[0]
+	}
+	return sum
+}
+
+// hotScanGuarded reallocates only on overflow behind a cap() guard — the
+// grow-on-demand idiom — and stays quiet.
+//
+//lint:hotpath
+func hotScanGuarded(dst, vs []uint64) []uint64 {
+	for _, v := range vs {
+		if len(dst) == cap(dst) {
+			grown := make([]uint64, len(dst), 2*cap(dst)+1)
+			copy(grown, dst)
+			dst = grown
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// hotScanHoisted allocates once above the loop and reuses: quiet.
+//
+//lint:hotpath
+func hotScanHoisted(vs []uint64) uint64 {
+	tmp := make([]uint64, 0, 4)
+	var sum uint64
+	for _, v := range vs {
+		tmp = append(tmp[:0], v)
+		sum += tmp[0]
+	}
+	return sum
+}
+
+// coldScanAlloc makes per iteration without the annotation: no diagnostics.
+func coldScanAlloc(vs []uint64) uint64 {
+	var sum uint64
+	for _, v := range vs {
+		tmp := make([]uint64, 0, 4)
+		tmp = append(tmp, v)
+		sum += tmp[0]
+	}
+	return sum
+}

@@ -1,0 +1,279 @@
+package sem
+
+// This file is the semi-external reverse-adjacency read path: serving
+// in-edges from the on-flash in-edge section (flagInEdges) or, for symmetric
+// graphs (flagSymmetric), from the edge region itself. Its centerpiece is
+// ScanInEdges, the storage side of the bottom-up traversal phase — instead of
+// the pop-window's per-vertex random reads it walks a contiguous vertex-id
+// range in storage order and coalesces the needed extents into large
+// sequential spans, which is precisely the access pattern the paper's
+// semi-external model rewards: the RAM-resident in-edge index decides what to
+// read, and the device sees a handful of megabyte-scale streams instead of a
+// frontier's worth of scattered records.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// scanSpanBytes caps one bottom-up scan read. A span this size amortizes the
+// device latency term thousands of times over while keeping the double
+// buffer's memory footprint bounded (two spans per scanning worker).
+const scanSpanBytes = 1 << 20
+
+// errNoInSection reports a reverse-adjacency call on a store without the
+// capability. Callers should gate on HasInEdges (via graph.InEdges) instead
+// of relying on this error.
+var errNoInSection = fmt.Errorf("sem: store carries no in-edge section (write with -symmetric or an in-edge section to enable bottom-up traversal)")
+
+// HasInEdges reports whether the store can serve reverse adjacency — the
+// dynamic side of the graph.InAdjacency capability: a symmetric file serves
+// in-edges from its edge region, otherwise a dedicated in-edge section must
+// be present.
+func (g *Graph[V]) HasInEdges() bool { return g.symmetric || g.inOffsets != nil }
+
+// Symmetric reports whether the file was written with the symmetric flag
+// (out-adjacency is its own transpose).
+func (g *Graph[V]) Symmetric() bool { return g.symmetric }
+
+// InDegree implements graph.InAdjacency from the RAM-resident in-edge index
+// (or the forward index for symmetric files). Zero for stores without
+// reverse capability.
+//
+//lint:hotpath
+func (g *Graph[V]) InDegree(v V) int {
+	if g.symmetric {
+		return g.Degree(v)
+	}
+	if g.inOffsets == nil {
+		return 0
+	}
+	if g.compressed {
+		return int(g.inDegrees[v])
+	}
+	return int(g.inOffsets[v+1] - g.inOffsets[v])
+}
+
+// inExtentOf reports the byte range of v's in-adjacency within the in-edge
+// section: bare id records in v1, a compressed block in v2.
+//
+//lint:hotpath
+func (g *Graph[V]) inExtentOf(v V) (off int64, n int) {
+	lo, hi := g.inOffsets[v], g.inOffsets[v+1]
+	if g.compressed {
+		return g.inEdgeBase + int64(lo), int(hi - lo)
+	}
+	return g.inEdgeBase + int64(lo)*int64(g.vSize), int(hi-lo) * g.vSize
+}
+
+// decodeInBlock decodes v's in-adjacency block (deg sources, bare vertex-id
+// records or a v2 compressed block — in-edge sections never carry weights)
+// through the scratch target buffer, returning a slice valid until the next
+// call with the same scratch.
+//
+//lint:hotpath
+func (g *Graph[V]) decodeInBlock(block []byte, v V, deg int, scratch *graph.Scratch[V]) ([]V, error) {
+	if cap(scratch.Targets) < deg {
+		scratch.Targets = make([]V, deg)
+	}
+	targets := scratch.Targets[:deg]
+	if g.compressed {
+		if _, err := graph.DecodeAdjBlock(block, v, targets, nil); err != nil {
+			return nil, err
+		}
+		return targets, nil
+	}
+	for i := range targets {
+		rec := block[i*g.vSize:]
+		if g.vSize == 4 {
+			targets[i] = V(binary.LittleEndian.Uint32(rec))
+		} else {
+			targets[i] = V(binary.LittleEndian.Uint64(rec))
+		}
+	}
+	return targets, nil
+}
+
+// InNeighbors implements graph.InAdjacency with one positional read per call,
+// mirroring Neighbors. Symmetric files answer from the edge region (and may
+// therefore consume a prefetched pop-window span); in-edge sections read
+// synchronously — bottom-up phases should use ScanInEdges, whose sequential
+// spans are the whole point.
+func (g *Graph[V]) InNeighbors(v V, scratch *graph.Scratch[V]) ([]V, error) {
+	if scratch == nil {
+		scratch = &graph.Scratch[V]{}
+	}
+	if g.symmetric {
+		targets, _, err := g.Neighbors(v, scratch)
+		return targets, err
+	}
+	if g.inOffsets == nil {
+		return nil, errNoInSection
+	}
+	deg := g.InDegree(v)
+	if deg == 0 {
+		return nil, nil
+	}
+	off, need := g.inExtentOf(v)
+	if cap(scratch.Block) < need {
+		scratch.Block = make([]byte, need)
+	}
+	block := scratch.Block[:need]
+	if _, err := g.store.ReadAt(block, off); err != nil {
+		return nil, fmt.Errorf("sem: read in-adjacency of %d: %w", v, err)
+	}
+	return g.decodeInBlock(block, v, deg, scratch)
+}
+
+// scanSpan is one sequential bottom-up read: the extents of exts[i:j] merged
+// into a single device request. ready is non-nil when the read was issued
+// asynchronously on the prefetcher's I/O pool.
+type scanSpan struct {
+	sp   span
+	i, j int
+}
+
+// ScanInEdges implements graph.InScanner: walk [lo, hi) in storage order,
+// coalesce the in-edge extents of needed vertices into sequential spans
+// (bridging gaps up to the prefetcher's MaxGap, or DefaultPrefetchGap when
+// prefetch is disabled, capped at scanSpanBytes per read), and visit each
+// vertex from the span buffers. With a prefetcher attached the spans are
+// double-buffered: span k+1 reads on the bounded I/O pool while span k
+// decodes, so the device and the CPU overlap exactly as in the pop-window
+// path — but with megabyte streams instead of per-vertex records. Scan reads
+// are tallied in PrefetchStats.ScanSpans/ScanBytes.
+func (g *Graph[V]) ScanInEdges(lo, hi V, need func(V) bool, visit func(v V, in []V) error, scratch *graph.Scratch[V]) error {
+	if !g.HasInEdges() {
+		return errNoInSection
+	}
+	if scratch == nil {
+		scratch = &graph.Scratch[V]{}
+	}
+	if uint64(hi) > g.n {
+		hi = V(g.n)
+	}
+	if lo >= hi {
+		return nil
+	}
+
+	// Gather the needed extents in storage order. need is consulted here,
+	// before any device I/O, per the InScanner contract; vertex ids ascend and
+	// both index layouts are monotone, so the extents arrive pre-sorted.
+	exts := make([]extent, 0, 256)
+	for v := lo; v < hi; v++ {
+		if !need(v) {
+			continue
+		}
+		var off int64
+		var nb int
+		if g.symmetric {
+			off, nb = g.extentOf(v)
+		} else {
+			off, nb = g.inExtentOf(v)
+		}
+		if nb == 0 {
+			continue
+		}
+		exts = append(exts, extent{v: uint64(v), off: off, n: nb})
+	}
+	if len(exts) == 0 {
+		return nil
+	}
+
+	maxGap := int64(DefaultPrefetchGap)
+	if g.prefetch != nil {
+		maxGap = int64(g.prefetch.cfg.MaxGap)
+	}
+
+	// Merge into sequential spans: a following extent joins while it starts
+	// within maxGap of the span's end and the span stays under scanSpanBytes.
+	spans := make([]scanSpan, 0, 16)
+	for i := 0; i < len(exts); {
+		start := exts[i].off
+		end := start + int64(exts[i].n)
+		j := i + 1
+		for j < len(exts) {
+			e := exts[j].off + int64(exts[j].n)
+			if exts[j].off > end+maxGap || e-start > scanSpanBytes {
+				break
+			}
+			if e > end {
+				end = e
+			}
+			j++
+		}
+		spans = append(spans, scanSpan{sp: span{off: start, buf: make([]byte, end-start)}, i: i, j: j})
+		i = j
+	}
+
+	// Double-buffered execution: keep the next span's read in flight on the
+	// prefetcher's I/O pool while the current one decodes. Without a
+	// prefetcher each span reads synchronously — still sequential, still
+	// coalesced, just not overlapped.
+	p := g.prefetch
+	issue := func(s *scanSpan) {
+		if p != nil {
+			p.scanSpans.Add(1)
+			p.scanBytes.Add(uint64(len(s.sp.buf)))
+			s.sp.ready = make(chan struct{})
+			go p.read(g.store, &s.sp)
+		}
+	}
+	issue(&spans[0])
+	for k := range spans {
+		s := &spans[k]
+		if k+1 < len(spans) {
+			issue(&spans[k+1])
+		}
+		if s.sp.ready != nil {
+			<-s.sp.ready
+			if s.sp.err != nil {
+				return fmt.Errorf("sem: scan in-edges at %d: %w", s.sp.off, s.sp.err)
+			}
+		} else if _, err := g.store.ReadAt(s.sp.buf, s.sp.off); err != nil {
+			return fmt.Errorf("sem: scan in-edges at %d: %w", s.sp.off, err)
+		}
+		if err := g.visitScanSpan(s, exts, visit, scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitScanSpan decodes and visits every vertex of one completed scan span.
+// This is the bottom-up inner loop: no per-edge allocation — the decode
+// target buffer is cap-guarded in scratch and the block slices alias the span
+// buffer.
+//
+//lint:hotpath
+func (g *Graph[V]) visitScanSpan(s *scanSpan, exts []extent, visit func(v V, in []V) error, scratch *graph.Scratch[V]) error {
+	for k := s.i; k < s.j; k++ {
+		e := &exts[k]
+		v := V(e.v)
+		deg := g.InDegree(v)
+		block := s.sp.buf[e.off-s.sp.off : e.off-s.sp.off+int64(e.n)]
+		var in []V
+		var err error
+		if g.symmetric {
+			// Symmetric scans read the edge region, whose records may carry
+			// weights; decode through the forward path and drop them.
+			in, _, err = g.decodeInto(block, v, deg, scratch)
+		} else {
+			in, err = g.decodeInBlock(block, v, deg, scratch)
+		}
+		if err != nil {
+			return err
+		}
+		if err := visit(v, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The semi-external store is direction-capable when its file carries the
+// symmetric flag or an in-edge section; HasInEdges gates the static
+// interface below at runtime (see graph.InEdges).
+var _ graph.InScanner[uint32] = (*Graph[uint32])(nil)

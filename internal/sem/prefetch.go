@@ -69,6 +69,11 @@ type PrefetchStats struct {
 	GapBytes  uint64 // bytes read only to bridge near-contiguous extents
 	Consumed  uint64 // prefetched adjacency lists delivered to Neighbors
 	Abandoned uint64 // prefetched lists dropped unread (stale by visit time)
+
+	// Bottom-up scan-phase counters (ScanInEdges): sequential in-edge section
+	// reads, disjoint from the pop-window span counters above.
+	ScanSpans uint64 // sequential spans issued by bottom-up scans
+	ScanBytes uint64 // bytes read by those spans, bridged gaps included
 }
 
 // Add accumulates other into s, the per-shard roll-up of a sharded mount.
@@ -80,6 +85,8 @@ func (s *PrefetchStats) Add(other PrefetchStats) {
 	s.GapBytes += other.GapBytes
 	s.Consumed += other.Consumed
 	s.Abandoned += other.Abandoned
+	s.ScanSpans += other.ScanSpans
+	s.ScanBytes += other.ScanBytes
 }
 
 // VertsPerSpan is the coalescing rate: how many vertex reads one device
@@ -114,6 +121,8 @@ type Prefetcher struct {
 	gapBytes  atomic.Uint64
 	consumed  atomic.Uint64
 	abandoned atomic.Uint64
+	scanSpans atomic.Uint64
+	scanBytes atomic.Uint64
 }
 
 // normalize clamps the prefetch knobs to their working ranges.
@@ -141,6 +150,8 @@ func (p *Prefetcher) Stats() PrefetchStats {
 		GapBytes:  p.gapBytes.Load(),
 		Consumed:  p.consumed.Load(),
 		Abandoned: p.abandoned.Load(),
+		ScanSpans: p.scanSpans.Load(),
+		ScanBytes: p.scanBytes.Load(),
 	}
 }
 

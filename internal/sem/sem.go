@@ -57,6 +57,24 @@ const (
 	// vertex index. Files without the flag are byte-identical to pre-shard
 	// writers' output.
 	flagSharded = 1 << 3
+	// flagInEdges marks a file carrying a reverse-adjacency (in-edge) section
+	// after the edge region, the storage behind bottom-up traversal phases:
+	//
+	//	v1: in-offsets (n+1) x uint64   -- edge-record counts
+	//	    in-records  mIn x vertexId  -- source ids only, never weighted
+	//	v2: in-index   (n+1) x uint64   -- BYTE offsets of in-blocks
+	//	    in-degrees  n x uint32      -- in-neighbor counts
+	//	    in-blob                     -- delta+varint blocks, no weight stream
+	//
+	// The section mirrors the file's own format version. Weights are never
+	// stored: the only consumer is the bottom-up BFS step, which needs edge
+	// sources, not costs.
+	flagInEdges = 1 << 4
+	// flagSymmetric asserts the out-adjacency is its own transpose (the writer
+	// symmetrized the graph), so in-edge reads are served from the edge region
+	// itself and no in-edge section exists. Mutually exclusive with
+	// flagInEdges.
+	flagSymmetric = 1 << 5
 )
 
 const headerSize = 40
@@ -89,6 +107,15 @@ type Graph[V graph.Vertex] struct {
 	shard      int
 	shards     int
 	totalEdges uint64
+
+	// In-edge section state (see flagInEdges / flagSymmetric). symmetric means
+	// in-edges are served from the edge region; otherwise inOffsets (and, for
+	// v2, inDegrees) index a dedicated reverse-adjacency section at
+	// inEdgeBase. Both nil/false for files without reverse capability.
+	symmetric  bool
+	inOffsets  []uint64
+	inDegrees  []uint32 // v2 in-sections only
+	inEdgeBase int64
 
 	// prefetch, when non-nil, services NeighborsBatch windows with coalesced
 	// asynchronous span reads (see prefetch.go). Nil means NeighborsBatch is
@@ -128,12 +155,113 @@ func writeHeader(w io.Writer, version uint32, flags, n, m, blobBytes uint64, sm 
 	return nil
 }
 
-// WriteCSR serializes an in-memory CSR into the semi-external format.
-func WriteCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V]) error {
-	return writeCSR(w, g, nil)
+// WriteConfig selects the on-flash layout of Write, the one writer behind
+// every CLI emit path: format version, reverse-adjacency capability, and
+// shard extraction compose freely.
+type WriteConfig struct {
+	// Compress selects format v2 (delta+varint blocks) over raw v1 records.
+	Compress bool
+	// InEdges appends a reverse-adjacency section (flagInEdges) built from
+	// the transpose of the logical graph, enabling bottom-up traversal
+	// phases. Mutually exclusive with Symmetric.
+	InEdges bool
+	// Symmetric marks the out-adjacency as its own transpose (flagSymmetric):
+	// direction-capable with zero extra storage. The caller asserts symmetry
+	// (e.g. Builder.Symmetrize output); nothing is verified.
+	Symmetric bool
+	// Shard, when non-nil, extracts and writes that shard of g with a shard
+	// map. The in-edge section of shard k holds the in-adjacency of k's owned
+	// vertices (the transpose hash-partitions by destination, exactly as the
+	// forward adjacency does by source).
+	Shard *ShardConfig
 }
 
-func writeCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V], sm *shardMap) error {
+// Validate rejects contradictory layout requests: the two reverse-adjacency
+// capabilities are exclusive (a symmetric graph already serves in-edges from
+// its edge region), and a shard request must name a member inside its range.
+func (c *WriteConfig) Validate() error {
+	_ = c.Compress // free toggle: v1 and v2 both support every capability below
+	if c.InEdges && c.Symmetric {
+		return fmt.Errorf("sem: InEdges and Symmetric are mutually exclusive (a symmetric graph already serves in-edges from its edge region)")
+	}
+	if c.Shard != nil {
+		sc := *c.Shard
+		sc.normalize()
+		return sc.Validate()
+	}
+	return nil
+}
+
+// Write serializes an in-memory CSR into the semi-external format per cfg.
+func Write[V graph.Vertex](w io.Writer, g *graph.CSR[V], cfg WriteConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var sm *shardMap
+	sub := g
+	if cfg.Shard != nil {
+		sc := *cfg.Shard
+		sc.normalize()
+		var err error
+		if sub, err = graph.ExtractShard(g, sc.Shard, sc.Shards); err != nil {
+			return err
+		}
+		sm = &shardMap{
+			shard:      uint32(sc.Shard),
+			shards:     uint32(sc.Shards),
+			totalEdges: g.NumEdges(),
+			hashID:     shardHashFib,
+		}
+	}
+	var in *graph.CSR[V]
+	if cfg.InEdges {
+		t, err := graph.Transpose(g)
+		if err != nil {
+			return err
+		}
+		if cfg.Shard != nil {
+			if t, err = graph.ExtractShard(t, cfg.Shard.Shard, cfg.Shard.Shards); err != nil {
+				return err
+			}
+		}
+		// The section stores sources only; drop the transposed weights.
+		if in, err = graph.NewCSRRaw(t.Offsets(), t.Targets(), nil); err != nil {
+			return err
+		}
+	}
+	if cfg.Compress {
+		c, err := graph.Compress(sub)
+		if err != nil {
+			return err
+		}
+		var inC *graph.CompressedCSR[V]
+		if in != nil {
+			if inC, err = graph.Compress(in); err != nil {
+				return err
+			}
+		}
+		return writeCompressed(w, c, inC, cfg.Symmetric, sm)
+	}
+	return writeCSR(w, sub, in, cfg.Symmetric, sm)
+}
+
+// WriteCSR serializes an in-memory CSR into the semi-external format.
+func WriteCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V]) error {
+	return writeCSR(w, g, nil, false, nil)
+}
+
+// sectionFlags folds the reverse-capability bits into flags.
+func sectionFlags(flags uint64, hasIn, symmetric bool) uint64 {
+	if hasIn {
+		flags |= flagInEdges
+	}
+	if symmetric {
+		flags |= flagSymmetric
+	}
+	return flags
+}
+
+func writeCSR[V graph.Vertex](w io.Writer, g, in *graph.CSR[V], symmetric bool, sm *shardMap) error {
 	vSize := vertexWidth[V]()
 	var flags uint64
 	if g.Weighted() {
@@ -142,6 +270,7 @@ func writeCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V], sm *shardMap) error 
 	if vSize == 8 {
 		flags |= flag64Bit
 	}
+	flags = sectionFlags(flags, in != nil, symmetric)
 	if err := writeHeader(w, Version, flags, g.NumVertices(), g.NumEdges(), 0, sm); err != nil {
 		return err
 	}
@@ -174,6 +303,30 @@ func writeCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V], sm *shardMap) error 
 			buf = buf[:0]
 		}
 	}
+	if in != nil {
+		for _, off := range in.Offsets() {
+			buf = binary.LittleEndian.AppendUint64(buf, off)
+			if len(buf) >= 1<<16-8 {
+				if _, err := w.Write(buf); err != nil {
+					return fmt.Errorf("sem: write in-edge offsets: %w", err)
+				}
+				buf = buf[:0]
+			}
+		}
+		for _, t := range in.Targets() {
+			if vSize == 4 {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+			} else {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+			}
+			if len(buf) >= 1<<16-16 {
+				if _, err := w.Write(buf); err != nil {
+					return fmt.Errorf("sem: write in-edge records: %w", err)
+				}
+				buf = buf[:0]
+			}
+		}
+	}
 	if len(buf) > 0 {
 		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("sem: write tail: %w", err)
@@ -185,10 +338,10 @@ func writeCSR[V graph.Vertex](w io.Writer, g *graph.CSR[V], sm *shardMap) error 
 // WriteCompressed serializes an already-compressed graph into format v2:
 // header, block-extent index ((n+1) byte offsets), degree array, blob.
 func WriteCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V]) error {
-	return writeCompressed(w, c, nil)
+	return writeCompressed(w, c, nil, false, nil)
 }
 
-func writeCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V], sm *shardMap) error {
+func writeCompressed[V graph.Vertex](w io.Writer, c, in *graph.CompressedCSR[V], symmetric bool, sm *shardMap) error {
 	vSize := vertexWidth[V]()
 	flags := uint64(flagCompressed)
 	if c.Weighted() {
@@ -197,12 +350,26 @@ func writeCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V], sm 
 	if vSize == 8 {
 		flags |= flag64Bit
 	}
+	flags = sectionFlags(flags, in != nil, symmetric)
 	blob := c.Blob()
 	if err := writeHeader(w, VersionCompressed, flags, c.NumVertices(), c.NumEdges(), uint64(len(blob)), sm); err != nil {
 		return err
 	}
+	if err := writeIndexAndBlob(w, c.BlockOffsets(), c.Degrees(), blob); err != nil {
+		return err
+	}
+	if in != nil {
+		return writeIndexAndBlob(w, in.BlockOffsets(), in.Degrees(), in.Blob())
+	}
+	return nil
+}
+
+// writeIndexAndBlob emits one v2 section: byte-offset index, degree array,
+// then the block blob. Both the edge region and the in-edge section share
+// this layout.
+func writeIndexAndBlob(w io.Writer, offsets []uint64, degrees []uint32, blob []byte) error {
 	buf := make([]byte, 0, 1<<16)
-	for _, off := range c.BlockOffsets() {
+	for _, off := range offsets {
 		buf = binary.LittleEndian.AppendUint64(buf, off)
 		if len(buf) >= 1<<16-8 {
 			if _, err := w.Write(buf); err != nil {
@@ -211,7 +378,7 @@ func writeCompressed[V graph.Vertex](w io.Writer, c *graph.CompressedCSR[V], sm 
 			buf = buf[:0]
 		}
 	}
-	for _, deg := range c.Degrees() {
+	for _, deg := range degrees {
 		buf = binary.LittleEndian.AppendUint32(buf, deg)
 		if len(buf) >= 1<<16-8 {
 			if _, err := w.Write(buf); err != nil {
@@ -366,7 +533,85 @@ func Open[V graph.Vertex](store Store) (*Graph[V], error) {
 			return nil, fmt.Errorf("sem: corrupt degree array: sum %d, m %d", sum, m)
 		}
 	}
+
+	// Reverse-adjacency capability: a symmetric graph serves in-edges from
+	// the edge region itself; otherwise an in-edge section may follow it.
+	g.symmetric = flags&flagSymmetric != 0
+	if flags&flagInEdges != 0 {
+		if g.symmetric {
+			return nil, fmt.Errorf("sem: corrupt header: symmetric and in-edge flags are mutually exclusive")
+		}
+		if err := g.openInSection(store); err != nil {
+			return nil, err
+		}
+	}
 	return g, nil
+}
+
+// openInSection reads the RAM-resident indexes of the in-edge section that
+// follows the edge region (see flagInEdges for the layout) and validates them
+// the same way Open validates the forward index.
+func (g *Graph[V]) openInSection(store Store) error {
+	inBase := g.edgeBase + g.EdgeBytes()
+	raw := make([]byte, (g.n+1)*8)
+	if _, err := io.ReadFull(io.NewSectionReader(store, inBase, int64(len(raw))), raw); err != nil {
+		return fmt.Errorf("sem: read in-edge index: %w", err)
+	}
+	g.inOffsets = make([]uint64, g.n+1)
+	for i := range g.inOffsets {
+		g.inOffsets[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	if g.inOffsets[0] != 0 {
+		return fmt.Errorf("sem: corrupt in-edge index: offsets start at %d", g.inOffsets[0])
+	}
+	for i := uint64(0); i < g.n; i++ {
+		if g.inOffsets[i] > g.inOffsets[i+1] {
+			return fmt.Errorf("sem: corrupt in-edge index: offsets decrease at %d", i)
+		}
+	}
+	g.inEdgeBase = inBase + int64(g.n+1)*8
+	if !g.compressed {
+		// v1: offsets count bare vertex-id records. A whole (unsharded) file's
+		// in-edge count must equal its edge count — every edge has one source.
+		if !g.Sharded() && g.inOffsets[g.n] != g.m {
+			return fmt.Errorf("sem: corrupt in-edge index: %d in-records, %d edges", g.inOffsets[g.n], g.m)
+		}
+		if szr, ok := store.(interface{ Size() int64 }); ok {
+			if need := g.inEdgeBase + int64(g.inOffsets[g.n])*int64(g.vSize); szr.Size() < need {
+				return fmt.Errorf("sem: store holds %d bytes, in-edge section requires %d", szr.Size(), need)
+			}
+		}
+		return nil
+	}
+	// v2: a degree array sits between the byte-offset index and the in-blob.
+	g.inEdgeBase += int64(g.n) * 4
+	raw = make([]byte, g.n*4)
+	if _, err := io.ReadFull(io.NewSectionReader(store, inBase+int64(g.n+1)*8, int64(len(raw))), raw); err != nil {
+		return fmt.Errorf("sem: read in-degree array: %w", err)
+	}
+	g.inDegrees = make([]uint32, g.n)
+	var sum uint64
+	for i := range g.inDegrees {
+		deg := binary.LittleEndian.Uint32(raw[i*4:])
+		g.inDegrees[i] = deg
+		sum += uint64(deg)
+		// Same bound as the forward degrees: one varint byte per value means a
+		// degree can never exceed its block's byte length, which bounds every
+		// decode-buffer allocation by the in-blob size.
+		if uint64(deg) > g.inOffsets[uint64(i)+1]-g.inOffsets[i] {
+			return fmt.Errorf("sem: corrupt in-degree array: vertex %d claims %d in-edges in a %d-byte block",
+				i, deg, g.inOffsets[uint64(i)+1]-g.inOffsets[i])
+		}
+	}
+	if !g.Sharded() && sum != g.m {
+		return fmt.Errorf("sem: corrupt in-degree array: sum %d, m %d", sum, g.m)
+	}
+	if szr, ok := store.(interface{ Size() int64 }); ok {
+		if need := g.inEdgeBase + int64(g.inOffsets[g.n]); szr.Size() < need {
+			return fmt.Errorf("sem: store holds %d bytes, in-edge section requires %d", szr.Size(), need)
+		}
+	}
+	return nil
 }
 
 // NumVertices implements graph.Adjacency.

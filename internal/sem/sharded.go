@@ -118,43 +118,13 @@ func ShardFileName(base string, shard int) string {
 // file with a shard map. The logical graph's edge total goes in the shard
 // map; the header's m counts only this shard's records.
 func WriteCSRShard[V graph.Vertex](w io.Writer, g *graph.CSR[V], cfg ShardConfig) error {
-	cfg.normalize()
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
-	sub, err := graph.ExtractShard(g, cfg.Shard, cfg.Shards)
-	if err != nil {
-		return err
-	}
-	return writeCSR(w, sub, &shardMap{
-		shard:      uint32(cfg.Shard),
-		shards:     uint32(cfg.Shards),
-		totalEdges: g.NumEdges(),
-		hashID:     shardHashFib,
-	})
+	return Write(w, g, WriteConfig{Shard: &cfg})
 }
 
 // WriteCSRShardCompressed extracts cfg's shard of g, compresses it, and
 // serializes it as a format v2 file with a shard map.
 func WriteCSRShardCompressed[V graph.Vertex](w io.Writer, g *graph.CSR[V], cfg ShardConfig) error {
-	cfg.normalize()
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
-	sub, err := graph.ExtractShard(g, cfg.Shard, cfg.Shards)
-	if err != nil {
-		return err
-	}
-	c, err := graph.Compress(sub)
-	if err != nil {
-		return err
-	}
-	return writeCompressed(w, c, &shardMap{
-		shard:      uint32(cfg.Shard),
-		shards:     uint32(cfg.Shards),
-		totalEdges: g.NumEdges(),
-		hashID:     shardHashFib,
-	})
+	return Write(w, g, WriteConfig{Compress: true, Shard: &cfg})
 }
 
 // validateShardSet checks that gs assembles into one coherent partition:

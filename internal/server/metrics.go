@@ -119,6 +119,15 @@ func (s *Server) buildVars() *expvar.Map {
 			"evictions": evictions,
 		}
 	}))
+	m.Set("direction", expvar.Func(func() any {
+		return map[string]any{
+			"mode":            s.pool.Config().Direction.String(),
+			"topdown_phases":  s.tdPhases.Load(),
+			"bottomup_phases": s.buPhases.Load(),
+			"switches":        s.dirSwitches.Load(),
+			"peak_frontier":   s.peakFrontier.Load(),
+		}
+	}))
 	m.Set("engine_pool", expvar.Func(func() any {
 		reused, total := s.pool.Reuses()
 		return map[string]any{

@@ -116,6 +116,10 @@ type Graph struct {
 	// Shards is the mount's partition width (0 or 1 = unsharded). Filled
 	// from Adj when it is a shard router.
 	Shards int
+	// Alpha/Beta are this graph's hybrid direction-switch thresholds. When
+	// the server's engine direction is not top-down and either is zero,
+	// AddGraph derives both from the mounted graph's degree distribution.
+	Alpha, Beta int
 }
 
 func (g *Graph) weighted() bool {
@@ -149,6 +153,13 @@ type Server struct {
 	queriesFailed   atomic.Uint64
 	queriesCanceled atomic.Uint64
 	queriesDeadline atomic.Uint64
+
+	// Direction-controller counters, accumulated across every BFS that ran
+	// the phase driver (all zero under pure top-down).
+	tdPhases     atomic.Uint64
+	buPhases     atomic.Uint64
+	dirSwitches  atomic.Uint64
+	peakFrontier atomic.Uint64 // high-water mark across queries
 
 	vars *expvar.Map
 	mux  *http.ServeMux
@@ -198,6 +209,16 @@ func (s *Server) AddGraph(g Graph) error {
 	if g.Shards == 0 {
 		if sh, ok := g.Adj.(interface{ NumShards() int }); ok {
 			g.Shards = sh.NumShards()
+		}
+	}
+	if dir := s.pool.Config().Direction; dir != core.DirectionTopDown {
+		// Fail at load time, not on the first query: every served graph must
+		// carry in-edges when the engine direction needs them.
+		if _, ok := graph.InEdges[uint32](g.Adj); !ok {
+			return fmt.Errorf("server: graph %q: %w (direction %s needs a graph written with in-edges)", g.Name, core.ErrNoInEdges, dir)
+		}
+		if g.Alpha <= 0 || g.Beta <= 0 {
+			g.Alpha, g.Beta = graph.DegreesOf[uint32](g.Adj).DirectionThresholds()
 		}
 	}
 	s.mu.Lock()
@@ -253,6 +274,12 @@ type queryStats struct {
 	MaxQueue        int    `json:"max_queue"`
 	PeakOutstanding int64  `json:"peak_outstanding"`
 	Workers         int    `json:"workers"`
+	// Direction-controller counters; present only when the BFS ran the
+	// phase driver (a non-top-down engine direction).
+	TopDownPhases     int    `json:"topdown_phases,omitempty"`
+	BottomUpPhases    int    `json:"bottomup_phases,omitempty"`
+	DirectionSwitches int    `json:"direction_switches,omitempty"`
+	PeakFrontier      uint64 `json:"peak_frontier,omitempty"`
 }
 
 type queryResponse struct {
@@ -418,10 +445,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runQuery(ctx context.Context, g *Graph, kernel string, src uint32) (*queryResult, error) {
 	switch kernel {
 	case "bfs":
-		r, err := s.pool.BFS(ctx, g.Adj, src)
+		var r *core.BFSResult[uint32]
+		var err error
+		if cfg := s.pool.Config(); cfg.Direction != core.DirectionTopDown {
+			// The direction driver is level-synchronous and holds no engine
+			// resources, so it runs outside the pool, under this graph's own
+			// switch thresholds.
+			cfg.Context = ctx
+			cfg.Alpha, cfg.Beta = g.Alpha, g.Beta
+			r, err = core.BFS[uint32](g.Adj, src, cfg)
+		} else {
+			r, err = s.pool.BFS(ctx, g.Adj, src)
+		}
 		if err != nil {
 			return nil, err
 		}
+		s.noteDirection(r.Stats)
 		return &queryResult{labels: r.Level, parent: r.Parent, stats: r.Stats}, nil
 	case "sssp":
 		r, err := s.pool.SSSP(ctx, g.Adj, src)
@@ -448,6 +487,24 @@ func (s *Server) runQuery(ctx context.Context, g *Graph, kernel string, src uint
 	return nil, fmt.Errorf("server: unknown kernel %q", kernel)
 }
 
+// noteDirection folds one BFS run's phase counters into the server-wide
+// direction metrics. Runs on the pure asynchronous kernel report no phases
+// and are skipped.
+func (s *Server) noteDirection(st core.Stats) {
+	if st.TopDownPhases == 0 && st.BottomUpPhases == 0 {
+		return
+	}
+	s.tdPhases.Add(uint64(st.TopDownPhases))
+	s.buPhases.Add(uint64(st.BottomUpPhases))
+	s.dirSwitches.Add(uint64(st.DirectionSwitches))
+	for {
+		cur := s.peakFrontier.Load()
+		if st.PeakFrontier <= cur || s.peakFrontier.CompareAndSwap(cur, st.PeakFrontier) {
+			return
+		}
+	}
+}
+
 // render writes the response for one request from a (possibly shared)
 // snapshot: the requested targets' states, or a whole-traversal summary.
 func (s *Server) render(w http.ResponseWriter, req *queryRequest, res *queryResult, cached bool) {
@@ -458,11 +515,15 @@ func (s *Server) render(w http.ResponseWriter, req *queryRequest, res *queryResu
 		Cached:    cached,
 		ElapsedMs: ms(res.elapsed),
 		Stats: queryStats{
-			Visits:          res.stats.Visits,
-			Pushes:          res.stats.Pushes,
-			MaxQueue:        res.stats.MaxQueue,
-			PeakOutstanding: res.stats.PeakOutstanding,
-			Workers:         res.stats.Workers,
+			Visits:            res.stats.Visits,
+			Pushes:            res.stats.Pushes,
+			MaxQueue:          res.stats.MaxQueue,
+			PeakOutstanding:   res.stats.PeakOutstanding,
+			Workers:           res.stats.Workers,
+			TopDownPhases:     res.stats.TopDownPhases,
+			BottomUpPhases:    res.stats.BottomUpPhases,
+			DirectionSwitches: res.stats.DirectionSwitches,
+			PeakFrontier:      res.stats.PeakFrontier,
 		},
 	}
 	if len(req.Targets) > 0 {

@@ -641,3 +641,86 @@ func TestConcurrentQueriesShardedSEM(t *testing.T) {
 		t.Fatalf("shard_block_caches has %d entries, want %d", len(bc), shards)
 	}
 }
+
+// TestDirectionServing covers the hybrid serving path end to end: a server
+// whose engine direction is hybrid must reject direction-incapable graphs at
+// AddGraph, serve BFS through the phase driver with per-graph thresholds,
+// report the phase counters in the query stats, and accumulate them under
+// /metrics "direction".
+func TestDirectionServing(t *testing.T) {
+	st := buildStores(t, 8)
+	s := New(Config{Engine: core.Config{Workers: 4, Direction: core.DirectionHybrid}})
+
+	if err := s.AddGraph(Graph{Name: "plain", Adj: st.im, Storage: "im"}); err == nil {
+		t.Fatal("AddGraph accepted a direction-incapable graph under hybrid")
+	}
+
+	rev, err := graph.Transpose(st.im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bidi, err := graph.NewBidi[uint32](st.im, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGraph(Graph{Name: "im", Adj: bidi, Storage: "im"}); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.graph("im"); g.Alpha <= 0 || g.Beta <= 0 {
+		t.Fatalf("AddGraph left thresholds underived: alpha=%d beta=%d", g.Alpha, g.Beta)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := postQuery(t, ts, queryRequest{Graph: "im", Kernel: "bfs", Source: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	qr := decodeQuery(t, body)
+	if qr.Stats.TopDownPhases+qr.Stats.BottomUpPhases == 0 {
+		t.Fatalf("hybrid query reported no phases: %+v", qr.Stats)
+	}
+	if qr.Stats.PeakFrontier == 0 {
+		t.Fatal("hybrid query reported zero peak frontier")
+	}
+
+	// The traversal must agree with the pure top-down kernel.
+	want, err := core.BFS[uint32](st.im, 0, core.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sumBody := postQuery(t, ts, queryRequest{Graph: "im", Kernel: "bfs", Source: 0, NoCache: true})
+	sum := decodeQuery(t, sumBody).Summary
+	var reached uint64
+	for _, l := range want.Level {
+		if l != graph.InfDist {
+			reached++
+		}
+	}
+	if sum == nil || sum.Reached != reached {
+		t.Fatalf("hybrid summary reached=%v, top-down kernel reached %d", sum, reached)
+	}
+
+	var metrics struct {
+		Direction struct {
+			Mode     string `json:"mode"`
+			TopDown  uint64 `json:"topdown_phases"`
+			BottomUp uint64 `json:"bottomup_phases"`
+			Peak     uint64 `json:"peak_frontier"`
+		} `json:"direction"`
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Direction.Mode != "hybrid" {
+		t.Fatalf("metrics direction mode = %q, want hybrid", metrics.Direction.Mode)
+	}
+	if metrics.Direction.TopDown+metrics.Direction.BottomUp == 0 || metrics.Direction.Peak == 0 {
+		t.Fatalf("metrics direction counters empty: %+v", metrics.Direction)
+	}
+}
