@@ -4,20 +4,30 @@
 // SSSP / CC queries over HTTP (see internal/server).
 //
 // Each -graph flag loads one store. The spec is
-// name=path[,sem[,profile]][,shards=N]:
+// name=path[,sem[,profile]][,shards=N][,limit=R[:B]]:
 //
 //	serve -listen :8080 -graph rmat16=a16.asg
 //	serve -graph small=a14.asg -graph big=a22.asg,sem,FusionIO
 //	serve -graph big=b16.asg,sem,shards=4       # mounts b16.asg.shard0..3
+//	serve -graph hot=a16.asg,limit=50:100       # 50 req/s per tenant on this graph
 //
 // shards=0 (the default) auto-detects: a plain file mounts as is, otherwise
 // path.shard0.. are discovered and mounted as one sharded graph.
+//
+// Serving policy: requests carry a tenant (X-Tenant header) and an SLO class
+// (X-SLO-Class: gold/silver/bronze/batch). -admission orders the wait queue
+// by class and remaining deadline budget (priority, the default) or by
+// arrival (fifo); -shed deadline rejects requests whose budget cannot
+// survive the estimated queue wait; -ratelimit / -tenant-limit bound each
+// tenant's request rate with a token bucket.
 //
 // Query it with:
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/graphs
 //	curl -d '{"graph":"rmat16","kernel":"bfs","source":0}' localhost:8080/v1/query
+//	curl -H 'X-Tenant: acme' -H 'X-SLO-Class: gold' \
+//	  -d '{"graph":"rmat16","kernel":"bfs","source":0,"timeout_ms":500}' localhost:8080/v1/query
 //	curl localhost:8080/metrics
 package main
 
@@ -28,199 +38,25 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/sem"
 	"repro/internal/server"
-	"repro/internal/ssd"
 )
 
-// graphSpec is one parsed -graph flag: name=path[,sem[,profile]][,shards=N].
-type graphSpec struct {
-	name    string
-	path    string
-	sem     bool
-	profile string
-	shards  int // 0 = auto-detect from the files present
-}
-
-func parseSpec(arg string) (graphSpec, error) {
-	var s graphSpec
-	name, rest, ok := strings.Cut(arg, "=")
-	if !ok || name == "" || rest == "" {
-		return s, fmt.Errorf("graph spec %q: want name=path[,sem[,profile]][,shards=N]", arg)
-	}
-	s.name = name
-	parts := strings.Split(rest, ",")
-	s.path = parts[0]
-	s.profile = "FusionIO"
-	for _, opt := range parts[1:] {
-		switch {
-		case opt == "sem":
-			s.sem = true
-		case strings.HasPrefix(opt, "shards="):
-			n, err := strconv.Atoi(strings.TrimPrefix(opt, "shards="))
-			if err != nil || n < 0 {
-				return s, fmt.Errorf("graph spec %q: bad shard count %q", arg, opt)
-			}
-			s.shards = n
-		case s.sem:
-			s.profile = opt
-		default:
-			return s, fmt.Errorf("graph spec %q: unknown option %q (want \"sem\" or \"shards=N\")", arg, opt)
-		}
-	}
-	if _, _, err := shardPaths(s.path, s.shards); err != nil {
-		return s, fmt.Errorf("graph %q: %w", s.name, err)
-	}
-	if s.sem {
-		if _, err := ssd.ProfileByName(s.profile); err != nil {
-			return s, fmt.Errorf("graph %q: %w", s.name, err)
-		}
-	}
-	return s, nil
-}
-
-// shardPaths resolves a spec's path/shards into the concrete file list, the
-// same resolution cmd/traverse performs: shards==0 auto-detects (a plain
-// file mounts as is, otherwise path.shard0.. are discovered); shards>=1
-// demands exactly that many shard files.
-func shardPaths(path string, shards int) ([]string, bool, error) {
-	if shards == 0 {
-		if _, err := os.Stat(path); err == nil {
-			return []string{path}, false, nil
-		}
-		var paths []string
-		for k := 0; ; k++ {
-			p := sem.ShardFileName(path, k)
-			if _, err := os.Stat(p); err != nil {
-				break
-			}
-			paths = append(paths, p)
-		}
-		if len(paths) == 0 {
-			return nil, false, fmt.Errorf("neither %s nor %s exists", path, sem.ShardFileName(path, 0))
-		}
-		return paths, true, nil
-	}
-	paths := make([]string, shards)
-	for k := range paths {
-		paths[k] = sem.ShardFileName(path, k)
-		if _, err := os.Stat(paths[k]); err != nil {
-			return nil, false, fmt.Errorf("%w: shards=%d but shard file missing: %v", sem.ErrShardSpec, shards, err)
-		}
-	}
-	return paths, true, nil
-}
-
-// load opens one graph (a plain file or a complete shard set) as a
-// server.Graph: decoded fully into an in-memory CSR, or mounted
-// semi-externally with one block-cached simulated flash device per shard.
-// When dir asks for bottom-up phases, in-memory mounts pair the CSR with its
-// transpose (semi-external mounts must carry an in-edge section in the file;
-// AddGraph enforces that).
-func load(spec graphSpec, prefetch, prefetchGap int, dir core.Direction) (server.Graph, error) {
-	g := server.Graph{Name: spec.name}
-	paths, sharded, err := shardPaths(spec.path, spec.shards)
-	if err != nil {
-		return g, err
-	}
-	backings := make([]*ssd.FileBacking, len(paths))
-	for i, pth := range paths {
-		f, err := os.Open(pth)
-		if err != nil {
-			return g, err
-		}
-		// The backing mmap-reads the file for the process lifetime; nothing
-		// to close eagerly here.
-		if backings[i], err = ssd.NewFileBacking(f); err != nil {
-			_ = f.Close()
-			return g, err
-		}
-	}
-	if !spec.sem {
-		if sharded {
-			stores := make([]sem.Store, len(backings))
-			for i, b := range backings {
-				stores[i] = b
-			}
-			csr, err := sem.LoadShardedCSR[uint32](stores)
-			if err != nil {
-				return g, err
-			}
-			if g.Adj, err = imAdjacency(csr, dir); err != nil {
-				return g, err
-			}
-			g.Storage, g.Shards = "im", len(stores)
-			return g, nil
-		}
-		csr, err := sem.LoadCSR[uint32](backings[0])
-		if err != nil {
-			return g, err
-		}
-		if g.Adj, err = imAdjacency(csr, dir); err != nil {
-			return g, err
-		}
-		g.Storage = "im"
-		return g, nil
-	}
-	p, err := ssd.ProfileByName(spec.profile)
-	if err != nil {
-		return g, err
-	}
-	devs := make([]*ssd.Device, len(backings))
-	caches := make([]*sem.CachedStore, len(backings))
-	sgs := make([]*sem.Graph[uint32], len(backings))
-	for i, b := range backings {
-		devs[i] = ssd.New(p, b)
-		if caches[i], err = sem.NewCachedStoreRA(devs[i], 4096, b.Size()/2, 8); err != nil {
-			return g, err
-		}
-		if sgs[i], err = sem.Open[uint32](caches[i]); err != nil {
-			return g, err
-		}
-		if prefetch > 1 {
-			sgs[i].EnablePrefetch(sem.PrefetchConfig{MaxGap: prefetchGap})
-		}
-	}
-	if sharded {
-		mounted, err := sem.MountShards(sgs)
-		if err != nil {
-			return g, err
-		}
-		g.Adj, g.Storage = mounted, "sem"
-		g.Devices, g.BlockCaches, g.Shards = devs, caches, len(sgs)
-		return g, nil
-	}
-	g.Adj, g.Storage, g.Device, g.BlockCache = sgs[0], "sem", devs[0], caches[0]
-	return g, nil
-}
-
-// imAdjacency wraps an in-memory CSR for the requested direction: top-down
-// serves the CSR as is, anything else pairs it with its transpose.
-func imAdjacency(csr *graph.CSR[uint32], dir core.Direction) (graph.Adjacency[uint32], error) {
-	if dir == core.DirectionTopDown {
-		return csr, nil
-	}
-	rev, err := graph.Transpose(csr)
-	if err != nil {
-		return nil, err
-	}
-	return graph.NewBidi[uint32](csr, rev)
-}
-
 func main() {
-	var specs []graphSpec
+	var specs []server.MountSpec
 	var (
 		listen       = flag.String("listen", ":8080", "address to serve HTTP on")
 		concurrency  = flag.Int("concurrency", 4, "max traversals running at once")
 		queue        = flag.Int("queue", 64, "max requests waiting for a traversal slot")
 		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max wait for a traversal slot before 503")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query traversal deadline")
+		admitPolicy  = flag.String("admission", server.AdmitPriority, "admission queue order: priority (SLO class + deadline) or fifo")
+		shedPolicy   = flag.String("shed", server.ShedDeadline, "deadline shedding: deadline (reject budget-exhausted requests early) or off")
+		rateLimit    = flag.String("ratelimit", "", "per-tenant token-bucket rate as rate[:burst] in req/s (empty = unlimited)")
 		cacheEntries = flag.Int("cache", 64, "result-cache capacity in snapshots (negative disables)")
 		workers      = flag.Int("workers", 0, "engine workers per traversal (0 = default)")
 		semisort     = flag.Bool("semisort", true, "secondary vertex-id sort key (SEM locality)")
@@ -229,12 +65,25 @@ func main() {
 		prefgap      = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap coalesced into one prefetch read")
 		dirFlag      = flag.String("direction", "", "BFS direction policy: topdown (default), bottomup, or hybrid; non-topdown requires every -graph to carry in-edges")
 	)
-	flag.Func("graph", "graph to serve, as name=path[,sem[,profile]] (repeatable, required)", func(arg string) error {
-		s, err := parseSpec(arg)
+	tenantLimits := make(map[string]server.TenantLimit)
+	flag.Func("graph", "graph to serve, as name=path[,sem[,profile]][,shards=N][,limit=R[:B]] (repeatable, required)", func(arg string) error {
+		s, err := server.ParseMountSpec(arg)
 		if err != nil {
 			return err
 		}
 		specs = append(specs, s)
+		return nil
+	})
+	flag.Func("tenant-limit", "per-tenant rate override, as name=rate[:burst] (repeatable)", func(arg string) error {
+		name, spec, ok := strings.Cut(arg, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("tenant limit %q: want name=rate[:burst]", arg)
+		}
+		rate, burst, err := server.ParseRateSpec(spec)
+		if err != nil {
+			return err
+		}
+		tenantLimits[name] = server.TenantLimit{Rate: rate, Burst: burst}
 		return nil
 	})
 	flag.Parse()
@@ -248,17 +97,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
 	}
+	if *admitPolicy != server.AdmitPriority && *admitPolicy != server.AdmitFIFO {
+		fmt.Fprintf(os.Stderr, "serve: unknown -admission %q (want priority or fifo)\n", *admitPolicy)
+		os.Exit(2)
+	}
+	if *shedPolicy != server.ShedDeadline && *shedPolicy != server.ShedOff {
+		fmt.Fprintf(os.Stderr, "serve: unknown -shed %q (want deadline or off)\n", *shedPolicy)
+		os.Exit(2)
+	}
+	var rl server.RateLimitConfig
+	if *rateLimit != "" {
+		if rl.Rate, rl.Burst, err = server.ParseRateSpec(*rateLimit); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: -ratelimit: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(tenantLimits) > 0 {
+		rl.Tenants = tenantLimits
+	}
 
 	s := server.New(server.Config{
 		MaxConcurrent: *concurrency,
 		MaxQueue:      *queue,
 		QueueTimeout:  *queueTimeout,
 		QueryTimeout:  *queryTimeout,
+		Admission:     *admitPolicy,
+		Shedding:      *shedPolicy,
+		RateLimit:     rl,
 		CacheEntries:  *cacheEntries,
 		Engine:        core.Config{Workers: *workers, SemiSort: *semisort, Batch: *batch, Prefetch: *prefetch, Direction: dir},
 	})
 	for _, spec := range specs {
-		g, err := load(spec, *prefetch, *prefgap, dir)
+		g, err := server.MountGraph(spec, server.MountOptions{Prefetch: *prefetch, PrefetchGap: *prefgap, Direction: dir})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			if errors.Is(err, sem.ErrShardSpec) {
@@ -278,13 +148,13 @@ func main() {
 			os.Exit(1)
 		}
 		if g.Shards > 1 {
-			log.Printf("loaded %s (%s, %d shards) from %s.shard0..%d", spec.name, g.Storage, g.Shards, spec.path, g.Shards-1)
+			log.Printf("loaded %s (%s, %d shards) from %s.shard0..%d", spec.Name, g.Storage, g.Shards, spec.Path, g.Shards-1)
 		} else {
-			log.Printf("loaded %s (%s) from %s", spec.name, g.Storage, spec.path)
+			log.Printf("loaded %s (%s) from %s", spec.Name, g.Storage, spec.Path)
 		}
 	}
 
-	log.Printf("serving %d graph(s) on %s", len(specs), *listen)
+	log.Printf("serving %d graph(s) on %s (admission=%s shed=%s)", len(specs), *listen, *admitPolicy, *shedPolicy)
 	if err := http.ListenAndServe(*listen, s.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)

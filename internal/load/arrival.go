@@ -1,0 +1,82 @@
+package load
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Arrival processes: open-loop inter-arrival gap generators. Both are
+// parameterized to a mean gap of 1/rate so swapping the process changes
+// burstiness, never offered load.
+//
+// Poisson arrivals (exponential gaps) are the memoryless baseline every
+// queueing result assumes. Gamma(k) gaps generalize it: the squared
+// coefficient of variation is 1/k, so k<1 is burstier than Poisson (flash
+// crowds), k>1 smoother (paced clients) — the two regimes that make
+// admission policy differences visible.
+
+// arrivalProcess yields successive inter-arrival gaps.
+type arrivalProcess interface {
+	next() time.Duration
+}
+
+type poissonArrivals struct {
+	rng  *rand.Rand
+	mean float64 // seconds
+}
+
+func (p *poissonArrivals) next() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() * p.mean * float64(time.Second))
+}
+
+type gammaArrivals struct {
+	rng   *rand.Rand
+	shape float64
+	scale float64 // seconds; mean gap = shape*scale
+}
+
+func (g *gammaArrivals) next() time.Duration {
+	return time.Duration(gammaSample(g.rng, g.shape) * g.scale * float64(time.Second))
+}
+
+// newArrivals builds the configured process with mean gap 1/rate.
+func newArrivals(cfg *Config, rng *rand.Rand) arrivalProcess {
+	mean := 1 / cfg.Rate
+	if cfg.Arrival == "gamma" {
+		return &gammaArrivals{rng: rng, shape: cfg.GammaShape, scale: mean / cfg.GammaShape}
+	}
+	return &poissonArrivals{rng: rng, mean: mean}
+}
+
+// gammaSample draws Gamma(shape, 1) by Marsaglia–Tsang squeeze-rejection
+// for shape >= 1, boosted by U^(1/shape) for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package load
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func baseConfig() Config {
+	return Config{
+		Vertices: 1 << 16,
+		Requests: 5000,
+		Rate:     200,
+		Mix:      map[string]float64{"bfs": 6, "sssp": 3, "cc": 1},
+		Tenants: []Tenant{
+			{Name: "acme", Class: "gold", Weight: 1, Deadline: 300 * time.Millisecond},
+			{Name: "bulk", Class: "batch", Weight: 9, Deadline: 2 * time.Second},
+		},
+		Seed: 42,
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg1, cfg2 := baseConfig(), baseConfig()
+	s1, err := BuildSchedule(&cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSchedule(&cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(s1)
+	b2, _ := json.Marshal(s2)
+	if string(b1) != string(b2) {
+		t.Fatal("same config produced different schedules")
+	}
+
+	cfg3 := baseConfig()
+	cfg3.Seed = 43
+	s3, err := BuildSchedule(&cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := json.Marshal(s3)
+	if string(b1) == string(b3) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	cfg := baseConfig()
+	schedule, err := BuildSchedule(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schedule) != cfg.Requests {
+		t.Fatalf("len = %d, want %d", len(schedule), cfg.Requests)
+	}
+	var last time.Duration
+	tenants := map[string]int{}
+	kernels := map[string]int{}
+	for _, r := range schedule {
+		if r.At < last {
+			t.Fatalf("arrivals out of order: %v after %v", r.At, last)
+		}
+		last = r.At
+		tenants[r.Tenant]++
+		kernels[r.Kernel]++
+		if r.Kernel == "cc" && r.Source != 0 {
+			t.Fatalf("cc request carries source %d, want 0", r.Source)
+		}
+		if r.Source >= cfg.Vertices {
+			t.Fatalf("source %d out of range", r.Source)
+		}
+	}
+	// Mean arrival rate within 10% of configured.
+	gotRate := float64(len(schedule)-1) / last.Seconds()
+	if math.Abs(gotRate-cfg.Rate)/cfg.Rate > 0.10 {
+		t.Fatalf("offered rate %.1f, want ~%.1f", gotRate, cfg.Rate)
+	}
+	// Tenant weights 1:9 — the gold share should be near 10%.
+	goldShare := float64(tenants["acme"]) / float64(len(schedule))
+	if goldShare < 0.07 || goldShare > 0.13 {
+		t.Fatalf("gold tenant share %.3f, want ~0.10", goldShare)
+	}
+	// Kernel mix 6:3:1.
+	if kernels["bfs"] < kernels["sssp"] || kernels["sssp"] < kernels["cc"] {
+		t.Fatalf("kernel mix violates 6:3:1 ordering: %v", kernels)
+	}
+}
+
+func TestGammaArrivalsBurstiness(t *testing.T) {
+	// Gamma inter-arrivals with shape k have CV^2 = 1/k: shape 16 must be
+	// much smoother than poisson (CV^2 = 1), shape 0.25 much burstier.
+	cv2 := func(arrival string, shape float64) float64 {
+		cfg := baseConfig()
+		cfg.Arrival = arrival
+		cfg.GammaShape = shape
+		cfg.Requests = 20000
+		schedule, err := BuildSchedule(&cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gaps []float64
+		last := time.Duration(0)
+		for _, r := range schedule {
+			gaps = append(gaps, (r.At - last).Seconds())
+			last = r.At
+		}
+		var mean, varsum float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			varsum += (g - mean) * (g - mean)
+		}
+		return varsum / float64(len(gaps)) / (mean * mean)
+	}
+	poisson := cv2("poisson", 0)
+	smooth := cv2("gamma", 16)
+	bursty := cv2("gamma", 0.25)
+	if math.Abs(poisson-1) > 0.15 {
+		t.Fatalf("poisson CV^2 = %.3f, want ~1", poisson)
+	}
+	if smooth > poisson/2 {
+		t.Fatalf("gamma(16) CV^2 = %.3f, want well below poisson %.3f", smooth, poisson)
+	}
+	if bursty < poisson*2 {
+		t.Fatalf("gamma(0.25) CV^2 = %.3f, want well above poisson %.3f", bursty, poisson)
+	}
+}
+
+func TestZipfSourceSkew(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Requests = 20000
+	schedule, err := BuildSchedule(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, r := range schedule {
+		if r.Kernel != "cc" && r.Source < 16 {
+			hot++
+		}
+	}
+	nonCC := 0
+	for _, r := range schedule {
+		if r.Kernel != "cc" {
+			nonCC++
+		}
+	}
+	if share := float64(hot) / float64(nonCC); share < 0.30 {
+		t.Fatalf("zipf(1.1): hottest 16 of %d vertices drew %.3f of traffic, want > 0.30", cfg.Vertices, share)
+	}
+
+	cfg2 := baseConfig()
+	cfg2.Source = "uniform"
+	cfg2.Requests = 20000
+	schedule2, err := BuildSchedule(&cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot2, nonCC2 := 0, 0
+	for _, r := range schedule2 {
+		if r.Kernel != "cc" {
+			nonCC2++
+			if r.Source < 16 {
+				hot2++
+			}
+		}
+	}
+	if share := float64(hot2) / float64(nonCC2); share > 0.01 {
+		t.Fatalf("uniform: hottest 16 vertices drew %.4f of traffic, want ~%v", share, 16.0/float64(cfg2.Vertices))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Vertices: 0},
+		{Vertices: 1, Arrival: "constant"},
+		{Vertices: 1, Source: "pareto"},
+		{Vertices: 1, Mix: map[string]float64{"pagerank": 1}},
+		{Vertices: 1, Mix: map[string]float64{"bfs": 0}},
+		{Vertices: 1, Tenants: []Tenant{{Name: "", Weight: 1}}},
+		{Vertices: 1, Tenants: []Tenant{{Name: "x", Class: "platinum"}}},
+		{Vertices: 1, Requests: -1},
+		{Vertices: 1, Rate: -5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, cfg)
+		}
+	}
+	var cfg Config
+	cfg.Vertices = 10
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero config with vertices: %v", err)
+	}
+	if cfg.Requests != 1000 || cfg.Arrival != "poisson" || len(cfg.Tenants) != 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}

@@ -1,0 +1,237 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Report layer: outcomes in, judgment out. The headline number is goodput —
+// replies that were both correct (200) and on time (within the request's
+// deadline) — because under overload raw throughput stays flat while the
+// share of useful work collapses; goodput is what the SLO policies are
+// supposed to protect. Percentiles are computed per class and per tenant so
+// a priority policy's gold-p99 win and its batch-p99 cost are both visible.
+
+// Stats aggregates outcomes for one slice of traffic (a class, a tenant, or
+// the whole run).
+type Stats struct {
+	// Requests is every arrival in the slice.
+	Requests int `json:"requests"`
+	// OK counts 200 replies (on time or not).
+	OK int `json:"ok"`
+	// Good counts 200 replies within deadline.
+	Good int `json:"good"`
+	// Late counts 200 replies past deadline plus 504s (budget exhausted
+	// while running).
+	Late int `json:"late"`
+	// Rejected counts every non-200 reply, split by reason below.
+	Rejected     int `json:"rejected"`
+	QueueFull    int `json:"queue_full"`
+	QueueTimeout int `json:"queue_timeout"`
+	DeadlineShed int `json:"deadline_shed"`
+	RateLimited  int `json:"rate_limited"`
+	// Errors counts transport failures (no HTTP status at all).
+	Errors int `json:"errors"`
+	// Latency percentiles over 200 replies, in milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	latencies []time.Duration
+}
+
+func (s *Stats) add(o *Outcome) {
+	s.Requests++
+	if o.Err != "" {
+		s.Errors++
+		return
+	}
+	if o.Code == 200 {
+		s.OK++
+		s.latencies = append(s.latencies, o.Latency)
+		if o.Good() {
+			s.Good++
+		} else {
+			s.Late++
+		}
+		return
+	}
+	if o.Code == 504 {
+		s.Late++
+	}
+	s.Rejected++
+	switch o.Reason {
+	case "queue-full":
+		s.QueueFull++
+	case "queue-timeout":
+		s.QueueTimeout++
+	case "deadline-shed":
+		s.DeadlineShed++
+	case "rate-limit":
+		s.RateLimited++
+	}
+}
+
+func (s *Stats) finish() {
+	if len(s.latencies) == 0 {
+		s.latencies = nil
+		return
+	}
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	var sum time.Duration
+	for _, l := range s.latencies {
+		sum += l
+	}
+	s.MeanMs = roundMs(sum / time.Duration(len(s.latencies)))
+	s.P50Ms = roundMs(percentile(s.latencies, 0.50))
+	s.P95Ms = roundMs(percentile(s.latencies, 0.95))
+	s.P99Ms = roundMs(percentile(s.latencies, 0.99))
+	s.latencies = nil
+}
+
+// percentile takes the nearest-rank percentile of a sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// roundMs keeps report JSON stable across float formatting quirks: three
+// decimal places of milliseconds (microsecond resolution).
+func roundMs(d time.Duration) float64 {
+	return float64(d.Round(time.Microsecond).Microseconds()) / 1000
+}
+
+// Report is the full judged result of a run.
+type Report struct {
+	// Requests and WallTime describe the offered load: WallTime is the last
+	// scheduled arrival plus its reply latency (virtual or real).
+	Requests int     `json:"requests"`
+	WallMs   float64 `json:"wall_ms"`
+	// OfferedRate is requests over the scheduled arrival span, req/s.
+	OfferedRate float64 `json:"offered_rate"`
+	// Goodput is the fraction of all requests answered well.
+	Goodput float64 `json:"goodput"`
+	// Fairness is the Jain index over per-tenant goodput counts: 1.0 when
+	// every tenant gets the same good replies, approaching 1/n when one
+	// tenant takes everything.
+	Fairness float64 `json:"fairness"`
+	// Total aggregates every outcome; Classes and Tenants slice it.
+	Total   Stats             `json:"total"`
+	Classes map[string]*Stats `json:"classes"`
+	Tenants map[string]*Stats `json:"tenants"`
+}
+
+// BuildReport judges a run's outcomes. Maps marshal with sorted keys, so
+// the JSON is byte-stable for a given outcome slice.
+func BuildReport(outcomes []Outcome) *Report {
+	r := &Report{
+		Requests: len(outcomes),
+		Classes:  make(map[string]*Stats),
+		Tenants:  make(map[string]*Stats),
+	}
+	var span, wall time.Duration
+	for i := range outcomes {
+		o := &outcomes[i]
+		r.Total.add(o)
+		cs := r.Classes[o.Req.Class]
+		if cs == nil {
+			cs = &Stats{}
+			r.Classes[o.Req.Class] = cs
+		}
+		cs.add(o)
+		ts := r.Tenants[o.Req.Tenant]
+		if ts == nil {
+			ts = &Stats{}
+			r.Tenants[o.Req.Tenant] = ts
+		}
+		ts.add(o)
+		if o.Req.At > span {
+			span = o.Req.At
+		}
+		if end := o.Req.At + o.Latency; end > wall {
+			wall = end
+		}
+	}
+	r.Total.finish()
+	for _, s := range r.Classes {
+		s.finish()
+	}
+	for _, s := range r.Tenants {
+		s.finish()
+	}
+	r.WallMs = roundMs(wall)
+	if span > 0 {
+		r.OfferedRate = float64(len(outcomes)-1) / span.Seconds()
+	}
+	if len(outcomes) > 0 {
+		r.Goodput = float64(r.Total.Good) / float64(len(outcomes))
+	}
+	r.Fairness = jain(r.Tenants)
+	return r
+}
+
+// jain computes the Jain fairness index (Σx)² / (n·Σx²) over per-tenant
+// good-reply counts.
+func jain(tenants map[string]*Stats) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, s := range tenants {
+		x := float64(s.Good)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// JSON renders the report as indented, key-sorted JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report as a human-readable summary.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d  offered %.1f req/s  goodput %.1f%%  fairness %.3f\n\n",
+		r.Requests, r.OfferedRate, 100*r.Goodput, r.Fairness)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "slice\treqs\tgood\tlate\trej\t429q\t503t\tshed\trate\tp50ms\tp95ms\tp99ms")
+	row := func(name string, s *Stats) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			name, s.Requests, s.Good, s.Late, s.Rejected,
+			s.QueueFull, s.QueueTimeout, s.DeadlineShed, s.RateLimited,
+			s.P50Ms, s.P95Ms, s.P99Ms)
+	}
+	row("total", &r.Total)
+	for _, name := range sortedKeys(r.Classes) {
+		row("class/"+name, r.Classes[name])
+	}
+	for _, name := range sortedKeys(r.Tenants) {
+		row("tenant/"+name, r.Tenants[name])
+	}
+	_ = w.Flush() // strings.Builder writes cannot fail
+	return b.String()
+}
+
+func sortedKeys(m map[string]*Stats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

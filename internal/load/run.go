@@ -1,0 +1,72 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Runner fires a schedule at a real target, open-loop: each request departs
+// at its scheduled offset on its own goroutine whether or not earlier
+// requests have been answered. That is the property that lets offered load
+// exceed capacity — the closed-loop benchmark can never get there.
+
+// Clock abstracts time for the runner so tests can compress or pin it; the
+// discrete-event simulator does not use it (virtual time lives in the event
+// loop).
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// WallClock is the real time.Now/time.Sleep clock.
+var WallClock Clock = wallClock{}
+
+// Runner drives a Target with a schedule.
+type Runner struct {
+	Target Target
+	// Clock defaults to WallClock.
+	Clock Clock
+}
+
+// Run fires every request at its offset and returns outcomes in schedule
+// order. Each request runs under a context bounded by its deadline plus
+// grace (the server needs headroom past the deadline to deliver its 504).
+// Cancelling ctx stops launching new requests; in-flight ones finish.
+func (r *Runner) Run(ctx context.Context, schedule []Request) []Outcome {
+	clock := r.Clock
+	if clock == nil {
+		clock = WallClock
+	}
+	outcomes := make([]Outcome, len(schedule))
+	var wg sync.WaitGroup
+	start := clock.Now()
+	for i := range schedule {
+		req := schedule[i]
+		if wait := req.At - clock.Now().Sub(start); wait > 0 {
+			clock.Sleep(wait)
+		}
+		if ctx.Err() != nil {
+			for j := i; j < len(schedule); j++ {
+				outcomes[j] = Outcome{Req: schedule[j], Err: ctx.Err().Error()}
+			}
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Grace past the deadline: queue timeout or 504 delivery both
+			// legitimately arrive after the budget expires.
+			rctx, cancel := context.WithTimeout(ctx, req.Deadline+10*time.Second)
+			defer cancel()
+			outcomes[i] = r.Target.Do(rctx, req)
+		}(i)
+	}
+	wg.Wait()
+	return outcomes
+}

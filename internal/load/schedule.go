@@ -1,0 +1,83 @@
+package load
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Request is one scheduled arrival: everything a target needs to fire the
+// query and everything the report needs to judge the reply.
+type Request struct {
+	// N is the arrival index (schedule order).
+	N int `json:"n"`
+	// At is the arrival offset from the start of the run.
+	At time.Duration `json:"at"`
+	// Tenant and Class go out as the X-Tenant / X-SLO-Class headers.
+	Tenant string `json:"tenant"`
+	Class  string `json:"class"`
+	// Kernel is bfs, sssp, or cc.
+	Kernel string `json:"kernel"`
+	// Source is the query's source vertex (0 for cc).
+	Source uint64 `json:"source"`
+	// Deadline is the latency budget, sent as timeout_ms.
+	Deadline time.Duration `json:"deadline"`
+}
+
+// BuildSchedule draws the whole arrival schedule from cfg's seed: arrival
+// times from the inter-arrival process, tenants and kernels from their
+// weight tables, sources from the source distribution. Every draw comes
+// from one PCG stream in a fixed order, so the same config always yields
+// the identical schedule — the property that makes FIFO-vs-priority runs a
+// paired comparison rather than two different workloads.
+func BuildSchedule(cfg *Config) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9E3779B97F4A7C15))
+	arrivals := newArrivals(cfg, rng)
+	source := newSource(cfg, rng)
+	kernelNames, kernelWeights := cfg.kernels()
+	tenantWeights := make([]float64, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		tenantWeights[i] = t.Weight
+	}
+
+	schedule := make([]Request, cfg.Requests)
+	var at time.Duration
+	for i := range schedule {
+		at += arrivals.next()
+		tenant := cfg.Tenants[weightedPick(rng, tenantWeights)]
+		kernel := kernelNames[weightedPick(rng, kernelWeights)]
+		src := source.pick()
+		if kernel == "cc" {
+			src = 0 // cc has no source; keep the schedule canonical
+		}
+		schedule[i] = Request{
+			N:        i,
+			At:       at,
+			Tenant:   tenant.Name,
+			Class:    tenant.Class,
+			Kernel:   kernel,
+			Source:   src,
+			Deadline: tenant.Deadline,
+		}
+	}
+	return schedule, nil
+}
+
+// weightedPick draws an index proportionally to weights. Weights are
+// validated positive-sum before this runs.
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

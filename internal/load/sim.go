@@ -1,0 +1,428 @@
+package load
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// Discrete-event simulator: replays a schedule through a model of the query
+// service's admission pipeline in virtual time. The model mirrors
+// internal/server request for request — bounded slots, a policy-ordered
+// wait queue (FIFO or SLO-priority), queue timeout, deadline-aware shedding
+// with the same EWMA wait estimator, per-tenant GCRA token buckets, and
+// deadline cancellation of running queries (the 504 path) — but replaces
+// goroutines and wall time with an event heap, so a run is deterministic to
+// the byte. Same seed, same config → same report. That is what lets CI
+// assert "priority beats FIFO for gold p99 under 2× overload" as a
+// regression test instead of a flaky benchmark, and what the EXPERIMENTS.md
+// policy tables are generated from.
+//
+// Service demands are drawn per request, in schedule order, from their own
+// seeded stream before the event loop runs — so FIFO and priority runs over
+// one schedule face identical work, making the comparison paired.
+
+// SimConfig models the server being simulated. Zero values select the
+// documented defaults; Validate normalizes in place.
+type SimConfig struct {
+	// Slots is the modeled MaxConcurrent. Default 4.
+	Slots int
+	// MaxQueue is the modeled admission queue capacity. Default 64.
+	MaxQueue int
+	// QueueTimeout is the modeled max queue wait before 503. Default 2s.
+	QueueTimeout time.Duration
+	// Admission is the queue order: "priority" (default) or "fifo".
+	Admission string
+	// Shedding is "deadline" (default) or "off", as in server.Config.
+	Shedding string
+	// Service is the mean traversal time per kernel. Defaults:
+	// bfs 20ms, sssp 40ms, cc 30ms.
+	Service map[string]time.Duration
+	// Jitter spreads each service draw uniformly over
+	// mean * [1-Jitter, 1+Jitter]. Default 0.2; 0 < exact means.
+	Jitter float64
+	// RateLimit is the per-tenant sustained rate in req/s; 0 disables.
+	RateLimit float64
+	// Burst is the per-tenant burst allowance; raised to 1 when RateLimit
+	// is set.
+	Burst float64
+}
+
+// Validate normalizes defaults in place and reports contradictions.
+func (c *SimConfig) Validate() error {
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.Slots < 0 {
+		return fmt.Errorf("load: sim Slots %d is negative", c.Slots)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("load: sim MaxQueue %d is negative", c.MaxQueue)
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.QueueTimeout < 0 {
+		return fmt.Errorf("load: sim QueueTimeout %v is negative", c.QueueTimeout)
+	}
+	switch c.Admission {
+	case "":
+		c.Admission = "priority"
+	case "priority", "fifo":
+	default:
+		return fmt.Errorf("load: sim Admission %q (want priority or fifo)", c.Admission)
+	}
+	switch c.Shedding {
+	case "":
+		c.Shedding = "deadline"
+	case "deadline", "off":
+	default:
+		return fmt.Errorf("load: sim Shedding %q (want deadline or off)", c.Shedding)
+	}
+	if c.Service == nil {
+		c.Service = map[string]time.Duration{
+			"bfs": 20 * time.Millisecond, "sssp": 40 * time.Millisecond, "cc": 30 * time.Millisecond,
+		}
+	}
+	for k, d := range c.Service {
+		if d <= 0 {
+			return fmt.Errorf("load: sim Service[%q] %v must be positive", k, d)
+		}
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("load: sim Jitter %v out of [0, 1)", c.Jitter)
+	}
+	if c.RateLimit < 0 {
+		return fmt.Errorf("load: sim RateLimit %v is negative", c.RateLimit)
+	}
+	if c.RateLimit > 0 && c.Burst < 1 {
+		c.Burst = 1
+	}
+	return nil
+}
+
+// classRank mirrors server.ParseSLOClass's ladder for the simulator's
+// priority ordering.
+func classRank(class string) int {
+	switch class {
+	case "gold":
+		return 0
+	case "silver":
+		return 1
+	case "batch":
+		return 3
+	default:
+		return 2 // bronze and anything unknown
+	}
+}
+
+// simWaiter is one queued request in the model.
+type simWaiter struct {
+	i        int           // schedule index
+	rank     int           // class rank
+	deadline time.Duration // absolute virtual deadline
+	seq      uint64
+	index    int // heap position; -1 once granted or removed
+}
+
+type simQueue struct {
+	ws   []*simWaiter
+	fifo bool
+}
+
+func (q *simQueue) Len() int { return len(q.ws) }
+
+func (q *simQueue) Less(i, j int) bool { return q.before(q.ws[i], q.ws[j]) }
+
+// before mirrors the server's admission ordering exactly.
+func (q *simQueue) before(a, b *simWaiter) bool {
+	if q.fifo {
+		return a.seq < b.seq
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+// aheadOf counts queued waiters served before w.
+func (q *simQueue) aheadOf(w *simWaiter) int {
+	n := 0
+	for _, o := range q.ws {
+		if q.before(o, w) {
+			n++
+		}
+	}
+	return n
+}
+
+// worst returns the waiter served last, nil when empty.
+func (q *simQueue) worst() *simWaiter {
+	if len(q.ws) == 0 {
+		return nil
+	}
+	w := q.ws[0]
+	for _, o := range q.ws[1:] {
+		if q.before(w, o) {
+			w = o
+		}
+	}
+	return w
+}
+
+func (q *simQueue) Swap(i, j int) {
+	q.ws[i], q.ws[j] = q.ws[j], q.ws[i]
+	q.ws[i].index = i
+	q.ws[j].index = j
+}
+
+func (q *simQueue) Push(x any) {
+	w := x.(*simWaiter)
+	w.index = len(q.ws)
+	q.ws = append(q.ws, w)
+}
+
+func (q *simQueue) Pop() any {
+	old := q.ws
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	q.ws = old[:n-1]
+	return w
+}
+
+// Event kinds, in deliberate order: at equal timestamps departures free
+// slots before arrivals claim them and before queue timers judge waiters.
+const (
+	evDepart = iota
+	evArrive
+	evTimeout
+	evDeadline
+)
+
+type simEvent struct {
+	at   time.Duration
+	kind int
+	seq  uint64
+	i    int           // schedule index (arrive, depart)
+	svc  time.Duration // service consumed (depart)
+	w    *simWaiter    // timeout, deadline
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// simBucket is the virtual-time mirror of the server's GCRA token bucket.
+type simBucket struct {
+	interval time.Duration
+	tau      time.Duration
+	tat      time.Duration
+}
+
+func (b *simBucket) allow(now time.Duration) bool {
+	t := b.tat
+	if now > t {
+		t = now
+	}
+	if t-now > b.tau {
+		return false
+	}
+	b.tat = t + b.interval
+	return true
+}
+
+// simState is the event loop's mutable world.
+type simState struct {
+	cfg      *SimConfig
+	schedule []Request
+	svc      []time.Duration // pre-drawn service demand per request
+	outcomes []Outcome
+
+	events  eventHeap
+	evSeq   uint64
+	queue   simQueue
+	wSeq    uint64
+	running int
+	avgNs   int64 // EWMA of consumed service, alpha 1/8
+	buckets map[string]*simBucket
+}
+
+// Simulate replays schedule through the server model. cfg supplies the seed
+// for the service-demand stream (kept separate from the schedule stream so
+// both are stable under policy changes).
+func Simulate(cfg *Config, sim *SimConfig, schedule []Request) ([]Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sim.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed^0xA5A5A5A5A5A5A5A5, cfg.Seed+0x6C62272E07BB0142))
+	st := &simState{
+		cfg:      sim,
+		schedule: schedule,
+		svc:      make([]time.Duration, len(schedule)),
+		outcomes: make([]Outcome, len(schedule)),
+		queue:    simQueue{fifo: sim.Admission == "fifo"},
+		buckets:  make(map[string]*simBucket),
+	}
+	for i, req := range schedule {
+		mean, ok := sim.Service[req.Kernel]
+		if !ok {
+			return nil, fmt.Errorf("load: sim has no Service time for kernel %q", req.Kernel)
+		}
+		f := 1 - sim.Jitter + 2*sim.Jitter*rng.Float64()
+		st.svc[i] = time.Duration(float64(mean) * f)
+		st.push(&simEvent{at: req.At, kind: evArrive, i: i})
+	}
+	for st.events.Len() > 0 {
+		ev := heap.Pop(&st.events).(*simEvent)
+		switch ev.kind {
+		case evArrive:
+			st.arrive(ev.at, ev.i)
+		case evDepart:
+			st.depart(ev.at, ev.svc)
+		case evTimeout:
+			if ev.w.index >= 0 {
+				heap.Remove(&st.queue, ev.w.index)
+				st.reject(ev.w.i, http.StatusServiceUnavailable, "queue-timeout", st.cfg.QueueTimeout)
+			}
+		case evDeadline:
+			if ev.w.index >= 0 {
+				heap.Remove(&st.queue, ev.w.index)
+				st.reject(ev.w.i, http.StatusServiceUnavailable, "deadline-shed", st.schedule[ev.w.i].Deadline)
+			}
+		}
+	}
+	return st.outcomes, nil
+}
+
+func (st *simState) push(ev *simEvent) {
+	ev.seq = st.evSeq
+	st.evSeq++
+	heap.Push(&st.events, ev)
+}
+
+func (st *simState) reject(i, code int, reason string, latency time.Duration) {
+	st.outcomes[i] = Outcome{Req: st.schedule[i], Code: code, Reason: reason, Latency: latency}
+}
+
+// estimate mirrors admission.estimateWaitLocked: drain rounds ahead of the
+// candidate — ahead in queue order, not arrival order — times the EWMA
+// service time; zero until the first completion.
+func (st *simState) estimate(cand *simWaiter) time.Duration {
+	if st.avgNs == 0 {
+		return 0
+	}
+	rounds := int64(st.queue.aheadOf(cand)/st.cfg.Slots + 1)
+	return time.Duration(rounds * st.avgNs)
+}
+
+func (st *simState) arrive(now time.Duration, i int) {
+	req := st.schedule[i]
+	if st.cfg.RateLimit > 0 {
+		b, ok := st.buckets[req.Tenant]
+		if !ok {
+			interval := time.Duration(float64(time.Second) / st.cfg.RateLimit)
+			b = &simBucket{interval: interval, tau: time.Duration((st.cfg.Burst - 1) * float64(interval))}
+			st.buckets[req.Tenant] = b
+		}
+		if !b.allow(now) {
+			st.reject(i, http.StatusTooManyRequests, "rate-limit", 0)
+			return
+		}
+	}
+	if st.running < st.cfg.Slots {
+		st.start(now, i)
+		return
+	}
+	deadlineAt := req.At + req.Deadline
+	w := &simWaiter{i: i, rank: classRank(req.Class), deadline: deadlineAt, seq: st.wSeq}
+	if st.cfg.Shedding == "deadline" {
+		if est := st.estimate(w); est > 0 && now+est > deadlineAt {
+			st.reject(i, http.StatusServiceUnavailable, "deadline-shed", 0)
+			return
+		}
+	}
+	if st.queue.Len() >= st.cfg.MaxQueue {
+		// Full queue: displace the worst waiter when the newcomer outranks
+		// it (never under FIFO), exactly as the server does.
+		worst := st.queue.worst()
+		if worst == nil || !st.queue.before(w, worst) {
+			st.reject(i, http.StatusTooManyRequests, "queue-full", 0)
+			return
+		}
+		heap.Remove(&st.queue, worst.index)
+		st.reject(worst.i, http.StatusTooManyRequests, "queue-full", now-st.schedule[worst.i].At)
+	}
+	st.wSeq++
+	heap.Push(&st.queue, w)
+	st.push(&simEvent{at: now + st.cfg.QueueTimeout, kind: evTimeout, w: w})
+	if st.cfg.Shedding == "deadline" && deadlineAt < now+st.cfg.QueueTimeout {
+		st.push(&simEvent{at: deadlineAt, kind: evDeadline, w: w})
+	}
+}
+
+// start puts request i on a slot at time now, judging its outcome up front:
+// completion within budget is a 200 at finish time, past budget the engine
+// is canceled at the deadline and the reply is a 504 — exactly the server's
+// per-query context semantics.
+func (st *simState) start(now time.Duration, i int) {
+	st.running++
+	req := st.schedule[i]
+	deadlineAt := req.At + req.Deadline
+	finish := now + st.svc[i]
+	if finish > deadlineAt {
+		consumed := deadlineAt - now
+		st.outcomes[i] = Outcome{Req: req, Code: http.StatusGatewayTimeout, Latency: req.Deadline}
+		st.push(&simEvent{at: deadlineAt, kind: evDepart, i: i, svc: consumed})
+		return
+	}
+	st.outcomes[i] = Outcome{Req: req, Code: http.StatusOK, Latency: finish - req.At}
+	st.push(&simEvent{at: finish, kind: evDepart, i: i, svc: st.svc[i]})
+}
+
+func (st *simState) depart(now time.Duration, consumed time.Duration) {
+	next := st.avgNs + (int64(consumed)-st.avgNs)/8
+	if st.avgNs == 0 {
+		next = int64(consumed)
+	}
+	st.avgNs = next
+	st.running--
+	if st.queue.Len() > 0 {
+		w := heap.Pop(&st.queue).(*simWaiter)
+		st.start(now, w.i)
+	}
+}

@@ -1,0 +1,147 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// overloadConfig offers ~2.6x the modeled capacity: 4 slots at a ~26ms mean
+// service time serve ~154 req/s against 400 offered.
+func overloadConfig() Config {
+	return Config{
+		Vertices: 1 << 16,
+		Requests: 20000,
+		Rate:     400,
+		Mix:      map[string]float64{"bfs": 7, "sssp": 3},
+		Tenants: []Tenant{
+			{Name: "acme", Class: "gold", Weight: 1, Deadline: 300 * time.Millisecond},
+			{Name: "bulk", Class: "batch", Weight: 8, Deadline: 2 * time.Second},
+		},
+		Seed: 7,
+	}
+}
+
+func simReport(t *testing.T, cfg Config, sim SimConfig) *Report {
+	t.Helper()
+	schedule, err := BuildSchedule(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := Simulate(&cfg, &sim, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildReport(outcomes)
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	r1 := simReport(t, overloadConfig(), SimConfig{})
+	r2 := simReport(t, overloadConfig(), SimConfig{})
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("same seed and config produced different reports")
+	}
+}
+
+// TestSimPriorityProtectsGold is the policy claim as a regression test:
+// under ~2.6x overload, priority admission plus deadline shedding must give
+// the gold class better goodput and a better p99 than FIFO, while the
+// overall goodput stays in the same regime (the win must come from
+// reordering, not from magically serving more work).
+func TestSimPriorityProtectsGold(t *testing.T) {
+	prio := simReport(t, overloadConfig(), SimConfig{Admission: "priority", Shedding: "deadline"})
+	fifo := simReport(t, overloadConfig(), SimConfig{Admission: "fifo", Shedding: "off"})
+
+	pGold, fGold := prio.Classes["gold"], fifo.Classes["gold"]
+	if pGold == nil || fGold == nil {
+		t.Fatal("gold class missing from report")
+	}
+	pGood := float64(pGold.Good) / float64(pGold.Requests)
+	fGood := float64(fGold.Good) / float64(fGold.Requests)
+	if pGood <= fGood {
+		t.Fatalf("gold goodput: priority %.3f <= fifo %.3f", pGood, fGood)
+	}
+	if pGood < 0.9 {
+		t.Fatalf("gold goodput under priority = %.3f, want >= 0.9", pGood)
+	}
+	if pGold.P99Ms >= fGold.P99Ms {
+		t.Fatalf("gold p99: priority %.1fms >= fifo %.1fms", pGold.P99Ms, fGold.P99Ms)
+	}
+	if prio.Goodput < fifo.Goodput/2 {
+		t.Fatalf("total goodput collapsed under priority: %.3f vs fifo %.3f", prio.Goodput, fifo.Goodput)
+	}
+	if prio.Fairness <= fifo.Fairness {
+		t.Fatalf("fairness: priority %.3f <= fifo %.3f", prio.Fairness, fifo.Fairness)
+	}
+}
+
+// TestSimUncontendedNoRegression: far below capacity, policy must not
+// matter — both orders serve everything well and nothing is rejected.
+func TestSimUncontendedNoRegression(t *testing.T) {
+	cfg := overloadConfig()
+	cfg.Rate = 40 // ~0.26x capacity
+	cfg.Requests = 4000
+	prio := simReport(t, cfg, SimConfig{Admission: "priority", Shedding: "deadline"})
+	fifo := simReport(t, cfg, SimConfig{Admission: "fifo", Shedding: "off"})
+	for name, r := range map[string]*Report{"priority": prio, "fifo": fifo} {
+		if r.Total.Rejected != 0 {
+			t.Fatalf("%s rejected %d requests uncontended", name, r.Total.Rejected)
+		}
+		if r.Goodput < 0.99 {
+			t.Fatalf("%s goodput %.3f uncontended, want ~1", name, r.Goodput)
+		}
+	}
+	if prio.Classes["gold"].P99Ms > fifo.Classes["gold"].P99Ms*1.25 {
+		t.Fatalf("priority gold p99 %.1fms regressed vs fifo %.1fms uncontended",
+			prio.Classes["gold"].P99Ms, fifo.Classes["gold"].P99Ms)
+	}
+}
+
+func TestSimRateLimitIsolatesTenants(t *testing.T) {
+	cfg := overloadConfig()
+	cfg.Rate = 40
+	cfg.Requests = 4000
+	// Per-tenant cap of 10 req/s: bulk (~36 req/s offered) must be limited
+	// heavily, acme (~4 req/s offered) not at all.
+	r := simReport(t, cfg, SimConfig{RateLimit: 10, Burst: 20})
+	bulk, acme := r.Tenants["bulk"], r.Tenants["acme"]
+	if bulk.RateLimited == 0 {
+		t.Fatal("bulk tenant over its rate cap was never limited")
+	}
+	if acme.RateLimited != 0 {
+		t.Fatalf("acme tenant under its rate cap was limited %d times", acme.RateLimited)
+	}
+	if got := float64(bulk.OK) / (r.WallMs / 1000); got > 13 {
+		t.Fatalf("bulk served at %.1f req/s against a 10 req/s cap", got)
+	}
+}
+
+func TestSimQueueTimeoutPath(t *testing.T) {
+	cfg := overloadConfig()
+	// No shedding and a queue timeout shorter than the drain time: waiters
+	// must exit via 503 queue-timeout.
+	r := simReport(t, cfg, SimConfig{Shedding: "off", QueueTimeout: 100 * time.Millisecond})
+	if r.Total.QueueTimeout == 0 {
+		t.Fatal("overloaded no-shed run produced no queue timeouts")
+	}
+}
+
+func TestSimRejectsUnknownKernel(t *testing.T) {
+	cfg := overloadConfig()
+	cfg.Requests = 10
+	schedule, err := BuildSchedule(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := SimConfig{Service: map[string]time.Duration{"cc": time.Millisecond}}
+	if _, err := Simulate(&cfg, &sim, schedule); err == nil {
+		t.Fatal("schedule kernels missing from Service table were accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package load
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Source-vertex distributions. Real query traffic concentrates on a small
+// hot set (the same landmark vertices, the same ego networks) — that is
+// what makes result caches and block caches earn their keep — while a
+// uniform draw defeats both. The generator offers the two extremes:
+//
+//   - zipfSource draws rank r with probability proportional to 1/(r+1)^s
+//     and maps rank directly to vertex id. Low ids are the hottest keys; on
+//     RMAT graphs low ids are also the high-degree hubs, so hot-key traffic
+//     lands on expensive, highly shareable traversals — the realistic worst
+//     case for admission and the best case for caching.
+//   - uniformSource spreads queries evenly over the id space.
+//
+// The Zipf sampler inverts an explicit cumulative table (8 bytes per
+// vertex, built once per run): exact for any s > 0 and trivially
+// deterministic, which matters more here than the table's memory.
+
+type sourcePicker interface {
+	pick() uint64
+}
+
+type uniformSource struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+func (u *uniformSource) pick() uint64 { return u.rng.Uint64N(u.n) }
+
+type zipfSource struct {
+	rng *rand.Rand
+	cum []float64 // cum[i] = sum of 1/(j+1)^s for j <= i
+}
+
+func newZipfSource(rng *rand.Rand, n uint64, s float64) *zipfSource {
+	cum := make([]float64, n)
+	var total float64
+	for i := range cum {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	return &zipfSource{rng: rng, cum: cum}
+}
+
+func (z *zipfSource) pick() uint64 {
+	x := z.rng.Float64() * z.cum[len(z.cum)-1]
+	// Binary search for the first rank whose cumulative weight covers x.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// newSource builds the configured source-vertex distribution.
+func newSource(cfg *Config, rng *rand.Rand) sourcePicker {
+	if cfg.Source == "zipf" {
+		return newZipfSource(rng, cfg.Vertices, cfg.ZipfS)
+	}
+	return &uniformSource{rng: rng, n: cfg.Vertices}
+}

@@ -1,0 +1,399 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// queryReader marshals a query body for requests that need custom headers.
+func queryReader(tb testing.TB, req queryRequest) *bytes.Reader {
+	tb.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return bytes.NewReader(body)
+}
+
+// waitForQueueDepth spins until the admission queue holds want waiters; the
+// enqueue happens on another goroutine, so tests must not race it.
+func waitForQueueDepth(tb testing.TB, a *admission, want int64) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.QueueDepth() != want {
+		if time.Now().After(deadline) {
+			tb.Fatalf("queue depth never reached %d (at %d)", want, a.QueueDepth())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestAdmissionPriorityOrdering(t *testing.T) {
+	a := newAdmission(&Config{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 5 * time.Second})
+	if err := a.acquire(context.Background(), ClassBronze, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one waiter per class, worst class first so arrival order and
+	// priority order disagree.
+	order := make(chan SLOClass, 4)
+	var wg sync.WaitGroup
+	for i, class := range []SLOClass{ClassBatch, ClassBronze, ClassSilver, ClassGold} {
+		wg.Add(1)
+		go func(class SLOClass) {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), class, time.Time{}); err != nil {
+				t.Errorf("class %v: %v", class, err)
+				return
+			}
+			order <- class
+			a.release(time.Millisecond)
+		}(class)
+		waitForQueueDepth(t, a, int64(i+1))
+	}
+	a.release(time.Millisecond) // free the seed slot; waiters drain one at a time
+	wg.Wait()
+	close(order)
+
+	want := []SLOClass{ClassGold, ClassSilver, ClassBronze, ClassBatch}
+	i := 0
+	for got := range order {
+		if got != want[i] {
+			t.Fatalf("admission %d went to class %v, want %v", i, got, want[i])
+		}
+		i++
+	}
+}
+
+func TestAdmissionEDFWithinClass(t *testing.T) {
+	a := newAdmission(&Config{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 5 * time.Second})
+	if err := a.acquire(context.Background(), ClassBronze, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(time.Hour)
+	order := make(chan time.Duration, 3)
+	var wg sync.WaitGroup
+	for i, off := range []time.Duration{3 * time.Second, time.Second, 2 * time.Second} {
+		wg.Add(1)
+		go func(off time.Duration) {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), ClassBronze, base.Add(off)); err != nil {
+				t.Errorf("offset %v: %v", off, err)
+				return
+			}
+			order <- off
+			a.release(time.Millisecond)
+		}(off)
+		waitForQueueDepth(t, a, int64(i+1))
+	}
+	a.release(time.Millisecond)
+	wg.Wait()
+	close(order)
+
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	i := 0
+	for got := range order {
+		if got != want[i] {
+			t.Fatalf("admission %d had deadline offset %v, want %v (earliest first)", i, got, want[i])
+		}
+		i++
+	}
+}
+
+func TestAdmissionDisplacesWorstWhenFull(t *testing.T) {
+	a := newAdmission(&Config{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 5 * time.Second})
+	if err := a.acquire(context.Background(), ClassGold, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	batchErr := make(chan error, 1)
+	go func() { batchErr <- a.acquire(context.Background(), ClassBatch, time.Time{}) }()
+	waitForQueueDepth(t, a, 1)
+
+	// Queue is full of batch; a gold arrival must displace it, not get 429.
+	goldDone := make(chan error, 1)
+	go func() { goldDone <- a.acquire(context.Background(), ClassGold, time.Now().Add(time.Minute)) }()
+
+	if err := <-batchErr; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("displaced batch waiter got %v, want ErrOverloaded", err)
+	}
+	a.release(time.Millisecond)
+	if err := <-goldDone; err != nil {
+		t.Fatalf("gold acquire after displacement: %v", err)
+	}
+	a.release(time.Millisecond)
+
+	// And the mirror case: a batch arrival must not displace anyone.
+	if err := a.acquire(context.Background(), ClassGold, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { batchErr <- a.acquire(context.Background(), ClassBronze, time.Time{}) }()
+	waitForQueueDepth(t, a, 1)
+	if err := a.acquire(context.Background(), ClassBatch, time.Time{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch arrival on a full queue got %v, want ErrOverloaded", err)
+	}
+	a.release(time.Millisecond)
+	if err := <-batchErr; err != nil {
+		t.Fatal(err)
+	}
+	a.release(time.Millisecond)
+}
+
+func TestAdmissionFIFONeverDisplaces(t *testing.T) {
+	a := newAdmission(&Config{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 5 * time.Second, Admission: AdmitFIFO})
+	if err := a.acquire(context.Background(), ClassBatch, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() { parked <- a.acquire(context.Background(), ClassBatch, time.Time{}) }()
+	waitForQueueDepth(t, a, 1)
+	if err := a.acquire(context.Background(), ClassGold, time.Now().Add(time.Minute)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("gold on a full FIFO queue got %v, want ErrOverloaded (no displacement)", err)
+	}
+	a.release(time.Millisecond)
+	if err := <-parked; err != nil {
+		t.Fatal(err)
+	}
+	a.release(time.Millisecond)
+}
+
+func TestAdmissionDeadlineShedImmediate(t *testing.T) {
+	a := newAdmission(&Config{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 5 * time.Second, Shedding: ShedDeadline})
+
+	// Cold server: no service observations, so nothing is shed even with a
+	// hopeless deadline — admit-and-try is the cold policy.
+	if err := a.acquire(context.Background(), ClassBronze, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	a.release(50 * time.Millisecond) // seeds the EWMA at 50ms
+
+	// Occupy the slot, then offer a request whose whole budget is below the
+	// estimated wait: it must be shed now, not after queueTimeout.
+	if err := a.acquire(context.Background(), ClassBronze, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := a.acquire(context.Background(), ClassBronze, start.Add(time.Millisecond))
+	if !errors.Is(err, ErrDeadlineShed) {
+		t.Fatalf("hopeless deadline got %v, want ErrDeadlineShed", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("shed decision took %v, want immediate", waited)
+	}
+	// A deadline that fits the estimate is queued, not shed.
+	fits := make(chan error, 1)
+	go func() { fits <- a.acquire(context.Background(), ClassBronze, time.Now().Add(time.Minute)) }()
+	waitForQueueDepth(t, a, 1)
+	a.release(50 * time.Millisecond)
+	if err := <-fits; err != nil {
+		t.Fatal(err)
+	}
+	a.release(50 * time.Millisecond)
+
+	if got := a.shedded.Load(); got != 1 {
+		t.Fatalf("shedded = %d, want 1", got)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(&Config{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 5 * time.Millisecond})
+	if err := a.acquire(context.Background(), ClassBronze, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background(), ClassBronze, time.Time{}); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("starved waiter got %v, want ErrQueueTimeout", err)
+	}
+	a.release(time.Millisecond)
+}
+
+// TestOverloadRejectReasons drives the overload paths end to end over HTTP
+// and checks the status code and X-Reject-Reason header for each.
+func TestOverloadRejectReasons(t *testing.T) {
+	slow := slowStores(t, 200*time.Microsecond)
+	s := New(Config{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		QueueTimeout:  50 * time.Millisecond,
+		CacheEntries:  -1,
+		Engine:        core.Config{Workers: 2},
+	})
+	if err := s.AddGraph(Graph{Name: "slow", Adj: slow}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the EWMA so deadline shedding has an estimate to work with.
+	if resp, body := postQuery(t, ts, queryRequest{Graph: "slow", Kernel: "bfs", Source: 0}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: %d %s", resp.StatusCode, body)
+	}
+
+	// Hold the only slot and the only queue seat with slow queries.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postQuery(t, ts, queryRequest{Graph: "slow", Kernel: "bfs", Source: 0, TimeoutMs: 10_000})
+		}()
+	}
+	for s.admit.InFlight() != 1 || s.admit.QueueDepth() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Full queue, batch arrival: 429 queue-full (cannot displace the
+	// queued anon/bronze waiter).
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", queryReader(t, queryRequest{Graph: "slow", Kernel: "bfs", Source: 0, TimeoutMs: 10_000}))
+	req.Header.Set(ClassHeader, "batch")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get(RejectReasonHeader) != "queue-full" {
+		t.Fatalf("full queue: status %d reason %q, want 429 queue-full", resp.StatusCode, resp.Header.Get(RejectReasonHeader))
+	}
+
+	// Budget below the estimated wait: immediate 503 deadline-shed.
+	start := time.Now()
+	resp2, _ := postQuery(t, ts, queryRequest{Graph: "slow", Kernel: "bfs", Source: 0, TimeoutMs: 1})
+	if resp2.StatusCode != http.StatusServiceUnavailable || resp2.Header.Get(RejectReasonHeader) != "deadline-shed" {
+		t.Fatalf("hopeless budget: status %d reason %q, want 503 deadline-shed", resp2.StatusCode, resp2.Header.Get(RejectReasonHeader))
+	}
+	if waited := time.Since(start); waited > 40*time.Millisecond {
+		t.Fatalf("deadline shed took %v, want immediate (queue timeout is 50ms)", waited)
+	}
+	wg.Wait()
+
+	m := fetchMetrics(t, ts)
+	adm := m["admission"].(map[string]any)
+	if adm["queue_full"].(float64) < 1 {
+		t.Fatalf("admission.queue_full = %v, want >= 1", adm["queue_full"])
+	}
+	if adm["deadline_shed"].(float64) < 1 {
+		t.Fatalf("admission.deadline_shed = %v, want >= 1", adm["deadline_shed"])
+	}
+	classes := adm["classes"].(map[string]any)
+	if classes["batch"].(map[string]any)["rejected"].(float64) < 1 {
+		t.Fatalf("admission.classes.batch.rejected = %v, want >= 1", classes["batch"])
+	}
+	wait := adm["queue_wait"].(map[string]any)
+	if wait["count"].(float64) < 1 {
+		t.Fatalf("admission.queue_wait.count = %v, want >= 1", wait["count"])
+	}
+}
+
+// TestQueueTimeoutReturns503 starves a queued request past QueueTimeout.
+func TestQueueTimeoutReturns503(t *testing.T) {
+	slow := slowStores(t, time.Millisecond)
+	s := New(Config{
+		MaxConcurrent: 1,
+		MaxQueue:      4,
+		QueueTimeout:  5 * time.Millisecond,
+		Shedding:      ShedOff,
+		CacheEntries:  -1,
+		Engine:        core.Config{Workers: 2},
+	})
+	if err := s.AddGraph(Graph{Name: "slow", Adj: slow}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hold := make(chan struct{})
+	go func() {
+		postQuery(t, ts, queryRequest{Graph: "slow", Kernel: "bfs", Source: 0, TimeoutMs: 10_000})
+		close(hold)
+	}()
+	for s.admit.InFlight() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	resp, _ := postQuery(t, ts, queryRequest{Graph: "slow", Kernel: "bfs", Source: 0, TimeoutMs: 10_000})
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get(RejectReasonHeader) != "queue-timeout" {
+		t.Fatalf("starved waiter: status %d reason %q, want 503 queue-timeout", resp.StatusCode, resp.Header.Get(RejectReasonHeader))
+	}
+	<-hold
+}
+
+func TestRateLimitPerTenant(t *testing.T) {
+	st := buildStores(t, 8)
+	s := New(Config{
+		CacheEntries: -1,
+		RateLimit:    RateLimitConfig{Rate: 0.001, Burst: 1, Tenants: map[string]TenantLimit{"vip": {Rate: 1000, Burst: 1000}}},
+		Engine:       core.Config{Workers: 4},
+	})
+	if err := s.AddGraph(Graph{Name: "im", Adj: st.im}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	send := func(tenant string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", queryReader(t, queryRequest{Graph: "im", Kernel: "bfs", Source: 0}))
+		req.Header.Set(TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		return resp
+	}
+
+	// Default bucket: burst 1 at a glacial refill — first request passes,
+	// the second is limited.
+	if resp := send("slowpoke"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d, want 200", resp.StatusCode)
+	}
+	resp := send("slowpoke")
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get(RejectReasonHeader) != "rate-limit" {
+		t.Fatalf("second request: status %d reason %q, want 429 rate-limit", resp.StatusCode, resp.Header.Get(RejectReasonHeader))
+	}
+	// Tenant isolation: another tenant's bucket is untouched, and the vip
+	// override grants far more than the default.
+	if resp := send("other"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant's first request: %d, want 200 (buckets must be per-tenant)", resp.StatusCode)
+	}
+	for i := 0; i < 5; i++ {
+		if resp := send("vip"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("vip request %d: %d, want 200 (override)", i, resp.StatusCode)
+		}
+	}
+	m := fetchMetrics(t, ts)
+	if n := m["queries_rate_limited"].(float64); n < 1 {
+		t.Fatalf("queries_rate_limited = %v, want >= 1", n)
+	}
+	rl := m["rate_limit"].(map[string]any)
+	if rl["enabled"] != true {
+		t.Fatalf("rate_limit.enabled = %v, want true", rl["enabled"])
+	}
+}
+
+// TestCacheKeyIncludesDirection pins the regression where identical queries
+// against servers with different BFS direction policies shared a cache slot:
+// parent trees differ between top-down and bottom-up/hybrid runs, so the
+// direction must be part of the key.
+func TestCacheKeyIncludesDirection(t *testing.T) {
+	st := buildStores(t, 6)
+	g := &Graph{Name: "g", Adj: st.im}
+	req := &queryRequest{Graph: "g", Kernel: "bfs", Source: 3}
+
+	td := New(Config{Engine: core.Config{Direction: core.DirectionTopDown}})
+	hy := New(Config{Engine: core.Config{Direction: core.DirectionHybrid}})
+	kTD := td.cacheKeyFor(req, g)
+	kHY := hy.cacheKeyFor(req, g)
+	if kTD == kHY {
+		t.Fatalf("cache keys collide across directions: %+v", kTD)
+	}
+	if kTD != td.cacheKeyFor(req, g) {
+		t.Fatal("cache key is not stable for identical queries")
+	}
+}

@@ -98,6 +98,44 @@ func (s *Server) buildVars() *expvar.Map {
 	m.Set("queries_deadline_exceeded", expvar.Func(func() any { return s.queriesDeadline.Load() }))
 	m.Set("queries_canceled", expvar.Func(func() any { return s.queriesCanceled.Load() }))
 	m.Set("queries_failed", expvar.Func(func() any { return s.queriesFailed.Load() }))
+	m.Set("queries_deadline_shed", expvar.Func(func() any { return s.admit.shedded.Load() }))
+	m.Set("queries_rate_limited", expvar.Func(func() any { return s.queriesRateLimited.Load() }))
+	m.Set("admission", expvar.Func(func() any {
+		classes := make(map[string]any, NumClasses)
+		for c := SLOClass(0); c < NumClasses; c++ {
+			classes[c.String()] = map[string]any{
+				"accepted": s.admit.classes[c].accepted.Load(),
+				"rejected": s.admit.classes[c].rejected.Load(),
+			}
+		}
+		return map[string]any{
+			"policy":        s.cfg.Admission,
+			"shedding":      s.cfg.Shedding,
+			"queue_full":    s.admit.rejected.Load(),
+			"queue_timeout": s.admit.timedOut.Load(),
+			"deadline_shed": s.admit.shedded.Load(),
+			"queue_wait": map[string]any{
+				"count":   s.admit.waitHist.n.Load(),
+				"mean_ms": ms(s.admit.waitHist.mean()),
+				"p50_ms":  ms(s.admit.waitHist.quantile(0.50)),
+				"p99_ms":  ms(s.admit.waitHist.quantile(0.99)),
+			},
+			"classes": classes,
+		}
+	}))
+	m.Set("rate_limit", expvar.Func(func() any {
+		if s.limit == nil {
+			return map[string]any{"enabled": false, "rejected": s.queriesRateLimited.Load()}
+		}
+		allowed, rejected := s.limit.Counters()
+		return map[string]any{
+			"enabled":  true,
+			"rate":     s.cfg.RateLimit.Rate,
+			"burst":    s.cfg.RateLimit.Burst,
+			"allowed":  allowed,
+			"rejected": rejected,
+		}
+	}))
 	m.Set("latency", expvar.Func(func() any {
 		return map[string]any{
 			"count":   s.hist.n.Load(),

@@ -5,9 +5,16 @@
 //
 // The serving pipeline, request by request:
 //
-//	decode/validate → result-cache lookup → admission control →
-//	engine-pool traversal under a per-query context → snapshot →
-//	cache fill → render
+//	decode/validate → result-cache lookup → per-tenant rate limit →
+//	SLO-aware admission → engine-pool traversal under a per-query
+//	deadline → snapshot → cache fill → render
+//
+// Requests carry a tenant identity (X-Tenant) and an SLO class
+// (X-SLO-Class: gold/silver/bronze/batch); the admission queue is ordered
+// by class and remaining deadline budget, requests whose budget cannot
+// survive the estimated queue wait are shed immediately, and each tenant's
+// request rate is bounded by a token bucket (slo.go, admission.go,
+// ratelimit.go).
 //
 // Three mechanisms make it safe to put the batch engine behind traffic:
 //
@@ -52,6 +59,27 @@ import (
 	"repro/internal/ssd"
 )
 
+// Admission policy names for Config.Admission.
+const (
+	// AdmitPriority orders the wait queue by (SLO class, remaining deadline
+	// budget); the default.
+	AdmitPriority = "priority"
+	// AdmitFIFO orders the wait queue by arrival, the pre-SLO behavior; kept
+	// for policy comparison runs.
+	AdmitFIFO = "fifo"
+)
+
+// Shedding policy names for Config.Shedding.
+const (
+	// ShedDeadline rejects requests whose latency budget cannot survive the
+	// estimated queue wait, and queued requests whose deadline expires
+	// before a slot frees; the default.
+	ShedDeadline = "deadline"
+	// ShedOff disables deadline-aware shedding: queued requests wait the
+	// full QueueTimeout regardless of budget.
+	ShedOff = "off"
+)
+
 // Config tunes the service. Zero values select the documented defaults.
 type Config struct {
 	// MaxConcurrent caps traversals running at once. Each traversal spawns
@@ -67,6 +95,16 @@ type Config struct {
 	// QueryTimeout is the per-query traversal deadline; a request may lower
 	// (never raise) it via timeout_ms. Default 30s.
 	QueryTimeout time.Duration
+	// Admission selects the wait-queue order: AdmitPriority (default) or
+	// AdmitFIFO. Unknown values select AdmitPriority.
+	Admission string
+	// Shedding selects deadline handling for queued requests: ShedDeadline
+	// (default) or ShedOff. Unknown values select ShedDeadline.
+	Shedding string
+	// RateLimit configures per-tenant token buckets applied before
+	// admission; the zero value disables limiting. Graphs may override it
+	// via Graph.RateLimit.
+	RateLimit RateLimitConfig
 	// CacheEntries is the result-cache capacity in snapshots; 0 selects the
 	// default 64, negative disables caching.
 	CacheEntries int
@@ -89,6 +127,13 @@ func (c *Config) normalize() {
 	if c.QueryTimeout <= 0 {
 		c.QueryTimeout = 30 * time.Second
 	}
+	if c.Admission != AdmitFIFO {
+		c.Admission = AdmitPriority
+	}
+	if c.Shedding != ShedOff {
+		c.Shedding = ShedDeadline
+	}
+	c.RateLimit.normalize()
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 64
 	}
@@ -120,6 +165,13 @@ type Graph struct {
 	// the server's engine direction is not top-down and either is zero,
 	// AddGraph derives both from the mounted graph's degree distribution.
 	Alpha, Beta int
+	// RateLimit overrides the server-wide per-tenant rate limit for queries
+	// against this graph; nil uses Config.RateLimit.
+	RateLimit *RateLimitConfig
+
+	// limiter is the materialized per-graph bucket scope (nil = use the
+	// server-wide limiter).
+	limiter *limiter
 }
 
 func (g *Graph) weighted() bool {
@@ -149,10 +201,13 @@ type Server struct {
 	mu     sync.RWMutex
 	graphs map[string]*Graph
 
-	queriesTotal    atomic.Uint64
-	queriesFailed   atomic.Uint64
-	queriesCanceled atomic.Uint64
-	queriesDeadline atomic.Uint64
+	limit *limiter // server-wide rate-limit scope; nil when disabled
+
+	queriesTotal       atomic.Uint64
+	queriesFailed      atomic.Uint64
+	queriesCanceled    atomic.Uint64
+	queriesDeadline    atomic.Uint64
+	queriesRateLimited atomic.Uint64
 
 	// Direction-controller counters, accumulated across every BFS that ran
 	// the phase driver (all zero under pure top-down).
@@ -171,8 +226,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		pool:   core.NewEnginePool[uint32](cfg.Engine),
-		admit:  newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		admit:  newAdmission(&cfg),
 		hist:   newHistogram(),
+		limit:  newLimiter(cfg.RateLimit),
 		graphs: make(map[string]*Graph),
 	}
 	if cfg.CacheEntries > 0 {
@@ -210,6 +266,9 @@ func (s *Server) AddGraph(g Graph) error {
 		if sh, ok := g.Adj.(interface{ NumShards() int }); ok {
 			g.Shards = sh.NumShards()
 		}
+	}
+	if g.RateLimit != nil {
+		g.limiter = newLimiter(*g.RateLimit)
 	}
 	if dir := s.pool.Config().Direction; dir != core.DirectionTopDown {
 		// Fail at load time, not on the first query: every served graph must
@@ -384,7 +443,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.queriesTotal.Add(1)
-	key := cacheKey{graph: req.Graph, kernel: req.Kernel, source: req.Source, weighted: g.weighted()}
+	key := s.cacheKeyFor(&req, g)
 	if s.cache != nil && !req.NoCache {
 		if res, ok := s.cache.get(key); ok {
 			s.render(w, &req, res, true)
@@ -392,31 +451,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if err := s.admit.acquire(r.Context()); err != nil {
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			writeError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, ErrQueueTimeout):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		default: // client went away while queued
-			s.queriesCanceled.Add(1)
-		}
-		return
+	// Serving policy inputs: tenant identity, SLO class, and the absolute
+	// deadline. The deadline is fixed before admission so queue wait spends
+	// the same budget the traversal runs under — that is what makes
+	// deadline-aware shedding mean something.
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
-	defer s.admit.release()
-
+	class := ParseSLOClass(r.Header.Get(ClassHeader))
 	timeout := s.cfg.QueryTimeout
 	if req.TimeoutMs > 0 {
 		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	deadline := time.Now().Add(timeout)
+
+	// Rate limiting sits between the cache and admission: cached replies
+	// cost no traversal and consume no tokens, everything else draws from
+	// the tenant's bucket (the graph's own scope when configured).
+	lim := g.limiter
+	if lim == nil {
+		lim = s.limit
+	}
+	if !lim.allow(tenant) {
+		s.queriesRateLimited.Add(1)
+		w.Header().Set(RejectReasonHeader, "rate-limit")
+		writeError(w, http.StatusTooManyRequests, "server: tenant %q over its request rate", tenant)
+		return
+	}
+
+	if err := s.admit.acquire(r.Context(), class, deadline); err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set(RejectReasonHeader, "queue-full")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrQueueTimeout):
+			w.Header().Set(RejectReasonHeader, "queue-timeout")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrDeadlineShed):
+			w.Header().Set(RejectReasonHeader, "deadline-shed")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default: // client went away while queued
+			s.queriesCanceled.Add(1)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 
 	start := time.Now()
 	res, err := s.runQuery(ctx, g, req.Kernel, uint32(req.Source))
 	elapsed := time.Since(start)
+	s.admit.release(elapsed)
 	s.hist.observe(elapsed)
 	if err != nil {
 		switch {
@@ -436,6 +525,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, res)
 	}
 	s.render(w, &req, res, false)
+}
+
+// cacheKeyFor builds the result-cache key for one validated request. Every
+// result-determining input must appear here: graph name, kernel, source,
+// weights-mode, and the engine's traversal direction (parent trees are
+// direction-specific even when levels agree).
+func (s *Server) cacheKeyFor(req *queryRequest, g *Graph) cacheKey {
+	return cacheKey{
+		graph:     req.Graph,
+		kernel:    req.Kernel,
+		source:    req.Source,
+		weighted:  g.weighted(),
+		direction: s.pool.Config().Direction,
+	}
 }
 
 // runQuery executes one traversal on the engine pool and snapshots its
