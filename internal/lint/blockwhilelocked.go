@@ -1,0 +1,91 @@
+package lint
+
+import "strings"
+
+// BlockWhileLocked flags potentially-blocking operations executed while a
+// sync.Mutex or sync.RWMutex is (lexically) held: channel sends and
+// receives, select statements without a default clause, sync.WaitGroup.Wait,
+// sync.Cond.Wait on a foreign condvar, and calls — direct, external, or
+// interface-dispatched ReadAt/WriteAt/Wait/Sleep — that may block. A
+// goroutine that parks inside a critical section stalls every contender of
+// that lock; the historical Engine.Wait-vs-context-watcher race was exactly
+// this shape.
+//
+// Two exemptions keep the idiomatic patterns quiet:
+//
+//   - sync.Cond.Wait while holding only that condvar's own struct's locks is
+//     the canonical condvar loop (Wait releases the mutex while parked);
+//   - calls into functions the analysis can see are checked against their
+//     computed may-block summary rather than their name, and the summary is
+//     propagated through static calls only — CHA-widened dynamic targets
+//     would drown the report in plausible-but-impossible paths.
+//
+// A deliberate blocking section (a bounded handoff protected by other means)
+// is documented with `//lint:blockwhilelocked <why>` at the operation.
+const blockWhileLockedName = "blockwhilelocked"
+
+var BlockWhileLocked = &Analyzer{
+	Name:       blockWhileLockedName,
+	Doc:        "no blocking operation (send/recv/select/Wait/ReadAt) while a sync.Mutex/RWMutex is held",
+	RunProgram: runBlockWhileLocked,
+}
+
+func heldLabel(held []string) string {
+	short := make([]string, len(held))
+	for i, h := range held {
+		short[i] = shortName(h)
+	}
+	return strings.Join(short, ", ")
+}
+
+func runBlockWhileLocked(prog *program) []Diagnostic {
+	var diags []Diagnostic
+	for _, n := range prog.order {
+		for _, b := range n.blocks {
+			if len(b.held) == 0 || prog.suppressed(blockWhileLockedName, b.pos) {
+				continue
+			}
+			if b.condOwner != "" && heldOnlyBy(b.held, b.condOwner) {
+				continue // the canonical condvar loop: Wait releases the owner's mutex
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      prog.fset.Position(b.pos),
+				Analyzer: blockWhileLockedName,
+				Message: b.what + " while holding " + heldLabel(b.held) +
+					"; a parked owner stalls every contender — release the lock first, or annotate //lint:blockwhilelocked",
+			})
+		}
+		for _, c := range n.calls {
+			if len(c.held) == 0 || prog.suppressed(blockWhileLockedName, c.pos) {
+				continue
+			}
+			callee := prog.nodes[c.callee]
+			if callee == nil || callee.mayBlock == nil {
+				continue
+			}
+			r := callee.mayBlock
+			why := r.what + " at " + prog.posLabel(r.pos)
+			if r.via != "" {
+				why += " via " + r.via
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      prog.fset.Position(c.pos),
+				Analyzer: blockWhileLockedName,
+				Message: "call to " + callee.display + " may block (" + why + ") while holding " + heldLabel(c.held) +
+					" — release the lock first, or annotate //lint:blockwhilelocked",
+			})
+		}
+	}
+	return diags
+}
+
+// heldOnlyBy reports whether every held lock class belongs to the given
+// owner prefix (the condvar's own struct).
+func heldOnlyBy(held []string, owner string) bool {
+	for _, h := range held {
+		if ownerPrefix(h) != owner {
+			return false
+		}
+	}
+	return true
+}

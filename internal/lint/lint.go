@@ -14,9 +14,22 @@
 //   - hotpath: no fmt calls, time.Now, map allocation, or closure creation
 //     inside functions annotated `//lint:hotpath`;
 //   - droppederr: ignored error results from Read/ReadAt/Write/WriteAt/
-//     Close/Flush/Sync calls;
+//     Close/Flush/Sync/Encode/WriteString calls, and `defer Close()` on a
+//     write path whose write errors are otherwise handled;
 //   - configcheck: every exported field of an exported ...Config struct must
 //     be referenced by that package's validate/normalize function.
+//
+// On top of the per-package checks sits a whole-program layer (callgraph.go):
+// a CHA-style static call graph with per-function may-acquire/may-block/
+// join-signal summaries, feeding three interprocedural analyzers:
+//
+//   - lockorder: cycles in the global mutex-acquisition-order graph
+//     (AB/BA deadlock risk), `//lint:lockorder` documents a hierarchy;
+//   - spawnjoin: every `go` statement needs a reachable join signal
+//     (WaitGroup.Done, close, context watcher, or a safe channel send),
+//     `//lint:spawnjoin` documents a deliberately detached goroutine;
+//   - blockwhilelocked: no blocking operation while a sync.Mutex/RWMutex is
+//     statically held, `//lint:blockwhilelocked` documents an exception.
 package lint
 
 import (
@@ -38,26 +51,45 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// Analyzer is one project-specific check.
+// Analyzer is one project-specific check. Per-package analyzers implement
+// Run; whole-program (interprocedural) analyzers implement RunProgram and
+// receive the call graph built once over the full package set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name       string
+	Doc        string
+	Run        func(p *Package) []Diagnostic
+	RunProgram func(prog *program) []Diagnostic
 }
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{AtomicMix, LockedSection, Hotpath, DroppedErr, ConfigCheck}
+	return []*Analyzer{
+		AtomicMix, LockedSection, Hotpath, DroppedErr, ConfigCheck,
+		LockOrder, SpawnJoin, BlockWhileLocked,
+	}
 }
 
 // RunAll applies every analyzer to every package and returns the findings
-// sorted by file, line, and analyzer name.
+// sorted by file, line, and analyzer name. The whole-program view is built
+// lazily, only when some analyzer in the set needs it.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, p := range pkgs {
 		for _, a := range analyzers {
-			diags = append(diags, a.Run(p)...)
+			if a.Run != nil {
+				diags = append(diags, a.Run(p)...)
+			}
 		}
+	}
+	var prog *program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = buildProgram(pkgs)
+		}
+		diags = append(diags, a.RunProgram(prog)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

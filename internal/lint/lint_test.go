@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -100,9 +101,37 @@ func TestHotpath(t *testing.T) {
 
 func TestDroppedErr(t *testing.T) {
 	expectExactly(t, DroppedErr, map[string]string{
-		"dropped.go:11": "s.Close error is dropped",
-		"dropped.go:12": "s.ReadAt error is blanked",
-		"dropped.go:13": "s.Write error is dropped",
+		"dropped.go:11":      "s.Close error is dropped",
+		"dropped.go:12":      "s.ReadAt error is blanked",
+		"dropped.go:13":      "s.Write error is dropped",
+		"droppedwrite.go:17": "s.Close error is discarded by defer on a write path",
+		"droppedwrite.go:26": "s.Encode error is dropped",
+		"droppedwrite.go:31": "s.WriteString error is dropped",
+	})
+}
+
+func TestLockOrder(t *testing.T) {
+	expectExactly(t, LockOrder, map[string]string{
+		// Direct AB/BA reversal: lockAB vs lockBA.
+		"lockorder.go:16": "lock-order cycle: fixture.orderA.mu -> fixture.orderB.mu",
+		// The same cycle closed through callees' may-acquire summaries.
+		"lockorder.go:45": "via fixture.lockDAlone",
+	})
+}
+
+func TestSpawnJoin(t *testing.T) {
+	expectExactly(t, SpawnJoin, map[string]string{
+		"spawnjoin.go:13": "goroutine has no reachable join",
+		"spawnjoin.go:23": "send on unbuffered channel",
+	})
+}
+
+func TestBlockWhileLocked(t *testing.T) {
+	expectExactly(t, BlockWhileLocked, map[string]string{
+		"blocklocked.go:17": "channel receive while holding fixture.relay.mu",
+		"blocklocked.go:23": "sync.WaitGroup.Wait while holding fixture.relay.mu",
+		"blocklocked.go:38": "call to fixture.relay.drain may block",
+		"blocklocked.go:52": "select without default while holding fixture.board.rw",
 	})
 }
 
@@ -139,4 +168,40 @@ func TestDiagnosticFormat(t *testing.T) {
 			t.Fatalf("diagnostics out of order: %s before %s", a.String(), b.String())
 		}
 	}
+}
+
+// TestGoldenFixtureFindings diffs the full suite's output over the fixture
+// module against the checked-in golden file, so any regression in analyzer
+// coverage, message wording, or output ordering fails loudly. CI asserts the
+// same golden through cmd/lint run inside the fixture directory.
+func TestGoldenFixtureFindings(t *testing.T) {
+	var b strings.Builder
+	for _, d := range RunAll(loadFixture(t), Analyzers()) {
+		b.WriteString(filepath.Base(d.Pos.Filename) + ":" + strconv.Itoa(d.Pos.Line) +
+			": " + d.Analyzer + ": " + d.Message + "\n")
+	}
+	got := b.String()
+	wantBytes, err := os.ReadFile(filepath.Join("testdata", "expected.txt"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("golden mismatch at line %d:\n  got:  %s\n  want: %s", i+1, g, w)
+		}
+	}
+	t.Fatalf("fixture findings diverge from testdata/expected.txt (%d got, %d want lines); regenerate it if the change is intentional", len(gotLines)-1, len(wantLines)-1)
 }

@@ -13,8 +13,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // This file is the analyzer suite's package loader. It is stdlib-only: the
@@ -85,7 +87,39 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
 
+	// Parse and type-check the root packages in parallel. The token.FileSet
+	// is concurrency-safe and shared (every Package reports positions in one
+	// coordinate space), but a "gc" importer is not: each worker gets its own
+	// importer reading the same export-data files, which means a dependency's
+	// *types.Package is not pointer-identical across roots. The analyzers
+	// already canonicalize cross-package identity to strings (funcKey,
+	// classOf), so nothing downstream relies on object identity.
 	fset := token.NewFileSet()
+	results := make([]*Package, len(roots))
+	errs := make([]error, len(roots))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, root := range roots {
+		wg.Add(1)
+		go func(i int, root *listedPkg) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = checkPackage(fset, exports, root)
+		}(i, root)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err // roots are sorted: the first error is deterministic
+		}
+	}
+	return results, nil
+}
+
+// checkPackage parses and type-checks one root package against the export
+// data of its dependencies.
+func checkPackage(fset *token.FileSet, exports map[string]string, root *listedPkg) (*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
@@ -93,42 +127,37 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(file)
 	})
-
-	var pkgs []*Package
-	for _, root := range roots {
-		files := make([]*ast.File, 0, len(root.GoFiles))
-		for _, name := range root.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, fmt.Errorf("lint: parse %s: %v", name, err)
-			}
-			files = append(files, f)
+	files := make([]*ast.File, 0, len(root.GoFiles))
+	for _, name := range root.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
 		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		}
-		var typeErrs []string
-		conf := types.Config{
-			Importer: imp,
-			Error: func(err error) {
-				typeErrs = append(typeErrs, err.Error())
-			},
-		}
-		tpkg, _ := conf.Check(root.ImportPath, fset, files, info)
-		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("lint: type-check %s:\n  %s", root.ImportPath, strings.Join(typeErrs, "\n  "))
-		}
-		pkgs = append(pkgs, &Package{
-			PkgPath: root.ImportPath,
-			Dir:     root.Dir,
-			Fset:    fset,
-			Files:   files,
-			Types:   tpkg,
-			Info:    info,
-		})
+		files = append(files, f)
 	}
-	return pkgs, nil
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(root.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-check %s:\n  %s", root.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{
+		PkgPath: root.ImportPath,
+		Dir:     root.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
 }

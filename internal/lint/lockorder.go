@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the global mutex-acquisition-order graph: an edge A -> B
+// whenever some function acquires lock class B while (lexically,
+// interprocedurally) holding class A — either directly, or by calling a
+// function whose may-acquire summary contains B, including interface calls
+// resolved by CHA. A cycle in this graph means two code paths take the same
+// locks in opposite orders, the classic AB/BA deadlock; each strongly
+// connected component is reported once, with a witness site per edge.
+//
+// Lock identity is per class (struct field, package variable, or local
+// declaration site), not per instance: two distinct instances of the same
+// struct type share a class. Self-edges (A -> A) are therefore skipped — the
+// analysis cannot tell shard-by-shard iteration from genuine re-entry.
+//
+// An intentional hierarchy is documented by annotating the inner acquisition
+// (or the call that performs it) with `//lint:lockorder <why>` on the same
+// line or the line above; the annotated edge is dropped from the graph.
+const lockOrderName = "lockorder"
+
+var LockOrder = &Analyzer{
+	Name:       lockOrderName,
+	Doc:        "cycles in the global mutex-acquisition-order graph (AB/BA deadlock risk)",
+	RunProgram: runLockOrder,
+}
+
+// orderEdge is one witnessed acquisition-order constraint from -> to.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       string // display name of the acquiring function
+	via      string // callee display name when the acquisition is indirect
+}
+
+func runLockOrder(prog *program) []Diagnostic {
+	edges := make(map[string]map[string]orderEdge)
+	addEdge := func(e orderEdge) {
+		if e.from == e.to {
+			return // instance-blind: do not call same-class nesting a cycle
+		}
+		m := edges[e.from]
+		if m == nil {
+			m = make(map[string]orderEdge)
+			edges[e.from] = m
+		}
+		if prev, ok := m[e.to]; !ok || e.pos < prev.pos {
+			m[e.to] = e
+		}
+	}
+	for _, n := range prog.order {
+		for _, a := range n.acquires {
+			if a.annotated {
+				continue
+			}
+			for _, h := range a.held {
+				addEdge(orderEdge{from: h, to: a.class, pos: a.pos, fn: n.display})
+			}
+		}
+		for _, c := range n.calls {
+			if len(c.held) == 0 || prog.suppressed(lockOrderName, c.pos) {
+				continue
+			}
+			callee := prog.nodes[c.callee]
+			if callee == nil {
+				continue
+			}
+			for class := range callee.mayAcquire {
+				for _, h := range c.held {
+					addEdge(orderEdge{from: h, to: class, pos: c.pos, fn: n.display, via: callee.display})
+				}
+			}
+		}
+		for _, d := range n.dyncalls {
+			if len(d.held) == 0 || prog.suppressed(lockOrderName, d.pos) {
+				continue
+			}
+			for _, key := range prog.cha[d.sig] {
+				callee := prog.nodes[key]
+				if callee == nil {
+					continue
+				}
+				for class := range callee.mayAcquire {
+					for _, h := range d.held {
+						addEdge(orderEdge{from: h, to: class, pos: d.pos, fn: n.display, via: callee.display})
+					}
+				}
+			}
+		}
+	}
+
+	// Tarjan-free SCC detection is overkill for graphs this small: find the
+	// classes reachable both ways (Kosaraju-style double DFS per component).
+	classes := make([]string, 0, len(edges))
+	for from := range edges {
+		classes = append(classes, from)
+	}
+	sort.Strings(classes)
+	reach := func(start string) map[string]bool {
+		seen := map[string]bool{start: true}
+		stack := []string{start}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for to := range edges[cur] {
+				if !seen[to] {
+					seen[to] = true
+					stack = append(stack, to)
+				}
+			}
+		}
+		return seen
+	}
+	var diags []Diagnostic
+	reported := make(map[string]bool)
+	for _, start := range classes {
+		if reported[start] {
+			continue
+		}
+		fwd := reach(start)
+		// SCC members: classes reachable from start that reach start back.
+		var scc []string
+		for c := range fwd {
+			if c == start {
+				continue
+			}
+			if reach(c)[start] {
+				scc = append(scc, c)
+			}
+		}
+		if len(scc) == 0 {
+			continue
+		}
+		scc = append(scc, start)
+		sort.Strings(scc)
+		for _, c := range scc {
+			reported[c] = true
+		}
+		diags = append(diags, cycleDiagnostic(prog, edges, scc))
+	}
+	return diags
+}
+
+// cycleDiagnostic renders one strongly connected component as a single
+// finding anchored at its earliest witness site, spelling out one full cycle
+// path with the function and position that witnesses each hop.
+func cycleDiagnostic(prog *program, edges map[string]map[string]orderEdge, scc []string) Diagnostic {
+	inSCC := make(map[string]bool, len(scc))
+	for _, c := range scc {
+		inSCC[c] = true
+	}
+	// Render the shortest cycle through the lexically-smallest class: BFS
+	// from it over in-SCC edges until some discovered node closes back.
+	start := scc[0]
+	parent := make(map[string]string)
+	queue := []string{start}
+	closer := ""
+	for len(queue) > 0 && closer == "" {
+		cur := queue[0]
+		queue = queue[1:]
+		var nexts []string
+		for to := range edges[cur] {
+			if inSCC[to] {
+				nexts = append(nexts, to)
+			}
+		}
+		sort.Strings(nexts)
+		for _, to := range nexts {
+			if to == start {
+				closer = cur
+				break
+			}
+			if _, seen := parent[to]; !seen {
+				parent[to] = cur
+				queue = append(queue, to)
+			}
+		}
+	}
+	var hops []orderEdge
+	if closer == "" {
+		// Unreachable for a genuine SCC; degrade to the first outgoing edge.
+		for to, e := range edges[start] {
+			_ = to
+			hops = append(hops, e)
+			break
+		}
+	} else {
+		var path []string // start ... closer, reconstructed backwards
+		for cur := closer; ; cur = parent[cur] {
+			path = append([]string{cur}, path...)
+			if cur == start {
+				break
+			}
+		}
+		for i := 0; i+1 < len(path); i++ {
+			hops = append(hops, edges[path[i]][path[i+1]])
+		}
+		hops = append(hops, edges[closer][start])
+	}
+	first := hops[0]
+	for _, h := range hops {
+		if h.pos < first.pos {
+			first = h
+		}
+	}
+	var b strings.Builder
+	b.WriteString("lock-order cycle: ")
+	b.WriteString(shortName(hops[len(hops)-1].to))
+	for _, h := range hops {
+		b.WriteString(" -> ")
+		b.WriteString(shortName(h.to))
+		b.WriteString(" (")
+		if h.via != "" {
+			b.WriteString("via " + h.via + " ")
+		}
+		b.WriteString("at " + prog.posLabel(h.pos) + " in " + h.fn + ")")
+	}
+	b.WriteString("; opposite acquisition orders can deadlock — reorder, or annotate an intentional hierarchy with //lint:lockorder")
+	return Diagnostic{
+		Pos:      prog.fset.Position(first.pos),
+		Analyzer: lockOrderName,
+		Message:  b.String(),
+	}
+}

@@ -1,0 +1,89 @@
+package fixture
+
+import "sync"
+
+// Seeded lockorder violations and accepted shapes. Lock classes are struct
+// fields, so the order graph is over orderA.mu, orderB.mu, ...
+
+type orderA struct{ mu sync.Mutex }
+type orderB struct{ mu sync.Mutex }
+
+// lockAB and lockBA take the same two locks in opposite orders: the genuine
+// AB/BA deadlock. One cycle diagnostic.
+func lockAB(a *orderA, b *orderB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // edge orderA.mu -> orderB.mu
+	defer b.mu.Unlock()
+}
+
+func lockBA(a *orderA, b *orderB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // edge orderB.mu -> orderA.mu: closes the cycle
+	defer a.mu.Unlock()
+}
+
+type orderC struct{ mu sync.Mutex }
+type orderD struct{ mu sync.Mutex }
+
+func lockCAlone(c *orderC) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+func lockDAlone(d *orderD) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// cThenD and dThenC close the same cycle interprocedurally: the inner lock
+// is taken inside a callee, visible only through the may-acquire summary.
+func cThenD(c *orderC, d *orderD) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockDAlone(d) // edge orderC.mu -> orderD.mu via lockDAlone
+}
+
+func dThenC(c *orderC, d *orderD) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockCAlone(c) // edge orderD.mu -> orderC.mu: closes the cycle
+}
+
+type orderE struct{ mu sync.Mutex }
+type orderF struct{ mu sync.Mutex }
+
+// A consistent hierarchy (E before F everywhere): no diagnostic.
+func hierarchyOne(e *orderE, f *orderF) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func hierarchyTwo(e *orderE, f *orderF) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+type orderG struct{ mu sync.Mutex }
+type orderH struct{ mu sync.Mutex }
+
+func gThenH(g *orderG, h *orderH) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+// The reversal is documented, so the H -> G edge is dropped: no diagnostic.
+func hThenG(g *orderG, h *orderH) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:lockorder the G<->H reversal is serialized by the registry lock
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}

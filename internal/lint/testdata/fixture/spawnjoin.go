@@ -1,0 +1,99 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// Seeded spawnjoin violations and accepted joins.
+
+// fireAndForget spawns a goroutine with no join signal of any kind:
+// violation.
+func fireAndForget(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// unbufferedResult's goroutine signals completion only by sending on an
+// unbuffered channel the spawner never receives from; an abandoned caller
+// leaks the goroutine: violation.
+func unbufferedResult() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+// joinedByWaitGroup is the canonical join: no diagnostic.
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// joinedByClose signals completion by closing a done channel: no diagnostic.
+func joinedByClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+// contextWatcher is bounded by its context's lifetime: no diagnostic.
+func contextWatcher(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// bufferedResult sends on a buffered channel: the goroutine cannot wedge
+// even if the receiver walks away. No diagnostic.
+func bufferedResult() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+// receivedHere sends on an unbuffered channel, but the spawner itself
+// receives from it: a synchronous join. No diagnostic.
+func receivedHere() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// retirer joins through a named-method chain: spawn -> work -> retire ->
+// wg.Done, visible only interprocedurally. No diagnostic.
+type retirer struct{ wg sync.WaitGroup }
+
+func (r *retirer) retire() { r.wg.Done() }
+
+func (r *retirer) work() { defer r.retire() }
+
+func (r *retirer) spawn() {
+	r.wg.Add(1)
+	go r.work()
+	r.wg.Wait()
+}
+
+// detachedFlusher is detached by design and documented: no diagnostic.
+func detachedFlusher(tick <-chan struct{}) {
+	//lint:spawnjoin process-lifetime flusher, detached by design
+	go func() {
+		for range tick {
+			continue
+		}
+	}()
+}
