@@ -20,11 +20,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/sem"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, table3, table4, table5, ablation, direction")
+		exp       = flag.String("exp", "all", "experiment: all, fig1, fig2, table1, table2, table3, table4, table5, ablation, direction, cachepolicy")
 		scales    = flag.String("scales", "", "comma-separated log2 vertex counts for in-memory tables")
 		semScales = flag.String("semscales", "", "comma-separated log2 vertex counts for SEM tables")
 		degree    = flag.Int("degree", 0, "average out-degree (default 16)")
@@ -33,6 +34,8 @@ func main() {
 		compress  = flag.Bool("compress", false, "mount SEM tables on the delta+varint compressed (v2) edge format")
 		shards    = flag.Int("shards", 1, "mount SEM tables as an N-way hash partition, one device per shard")
 		dirFlag   = flag.String("direction", "", "BFS direction policy for SEM tables: topdown (default), bottomup, or hybrid")
+		cachePol  = flag.String("cachepolicy", "", "SEM block-cache eviction policy: lru (default) or state")
+		prefgap   = flag.String("prefetchgap", "", "span-coalescing slack for SEM prefetch reads (bytes, or with a k/KiB/m/MiB suffix; empty = harness default)")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -44,14 +47,14 @@ func main() {
 	if *scales != "" {
 		v, err := parseInts(*scales)
 		if err != nil {
-			fatal(err)
+			usage(fmt.Errorf("-scales: %v", err))
 		}
 		o.Scales = v
 	}
 	if *semScales != "" {
 		v, err := parseInts(*semScales)
 		if err != nil {
-			fatal(err)
+			usage(fmt.Errorf("-semscales: %v", err))
 		}
 		o.SEMScales = v
 	}
@@ -64,18 +67,29 @@ func main() {
 	o.MemModel = *memModel
 	o.Compressed = *compress
 	if *shards < 1 {
-		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+		usage(fmt.Errorf("-shards must be >= 1, got %d", *shards))
 	}
 	o.Shards = *shards
 	dir, err := core.ParseDirection(*dirFlag)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	o.Direction = dir
+	if o.CachePolicy, err = sem.ParseCachePolicy(*cachePol); err != nil {
+		usage(fmt.Errorf("-cachepolicy: %v", err))
+	}
+	if *prefgap != "" {
+		if o.PrefetchGap, err = sem.ParseByteSize(*prefgap); err != nil {
+			usage(fmt.Errorf("-prefetchgap: %v", err))
+		}
+	}
 
 	start := time.Now()
 	tables, err := run(*exp, o)
 	if err != nil {
+		if strings.HasPrefix(err.Error(), "unknown -exp") {
+			usage(err)
+		}
 		fatal(err)
 	}
 	for _, t := range tables {
@@ -112,6 +126,8 @@ func run(exp string, o harness.Options) ([]*harness.Table, error) {
 		return harness.Ablations(o)
 	case "direction":
 		return one(harness.AblationDirection(o))
+	case "cachepolicy":
+		return one(harness.AblationCachePolicy(o))
 	default:
 		return nil, fmt.Errorf("unknown -exp %q", exp)
 	}
@@ -129,7 +145,15 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// fatal reports a runtime failure (exit 1); usage reports a bad invocation
+// (exit 2, the same convention cmd/traverse and cmd/serve follow for flag
+// validation).
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 	os.Exit(1)
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+	os.Exit(2)
 }

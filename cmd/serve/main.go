@@ -38,6 +38,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,7 +63,8 @@ func main() {
 		semisort     = flag.Bool("semisort", true, "secondary vertex-id sort key (SEM locality)")
 		batch        = flag.Int("batch", 0, "engine mailbox batch size (0 = default)")
 		prefetch     = flag.Int("prefetch", 64, "SEM pop-window prefetch size (0 = off)")
-		prefgap      = flag.Int("prefetchgap", sem.DefaultPrefetchGap, "max byte gap coalesced into one prefetch read")
+		prefgap      = flag.String("prefetchgap", strconv.Itoa(sem.DefaultPrefetchGap), "max byte gap coalesced into one prefetch read (bytes, or with a k/KiB/m/MiB suffix)")
+		cachePol     = flag.String("cachepolicy", sem.PolicyLRU, "SEM block-cache eviction policy: lru (legacy) or state (algorithm-driven pinning)")
 		dirFlag      = flag.String("direction", "", "BFS direction policy: topdown (default), bottomup, or hybrid; non-topdown requires every -graph to carry in-edges")
 	)
 	tenantLimits := make(map[string]server.TenantLimit)
@@ -97,6 +99,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
 	}
+	gap, err := sem.ParseByteSize(*prefgap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: -prefetchgap: %v\n", err)
+		os.Exit(2)
+	}
+	policy, err := sem.ParseCachePolicy(*cachePol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: -cachepolicy: %v\n", err)
+		os.Exit(2)
+	}
 	if *admitPolicy != server.AdmitPriority && *admitPolicy != server.AdmitFIFO {
 		fmt.Fprintf(os.Stderr, "serve: unknown -admission %q (want priority or fifo)\n", *admitPolicy)
 		os.Exit(2)
@@ -128,7 +140,7 @@ func main() {
 		Engine:        core.Config{Workers: *workers, SemiSort: *semisort, Batch: *batch, Prefetch: *prefetch, Direction: dir},
 	})
 	for _, spec := range specs {
-		g, err := server.MountGraph(spec, server.MountOptions{Prefetch: *prefetch, PrefetchGap: *prefgap, Direction: dir})
+		g, err := server.MountGraph(spec, server.MountOptions{Prefetch: *prefetch, PrefetchGap: gap, Direction: dir, CachePolicy: policy})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			if errors.Is(err, sem.ErrShardSpec) {

@@ -137,9 +137,10 @@ func TestBlockWhileLocked(t *testing.T) {
 
 func TestConfigCheck(t *testing.T) {
 	expectExactly(t, ConfigCheck, map[string]string{
-		"config.go:10": "Config.Depth is never referenced",
-		"config.go:23": "OrphanConfig has no validate/normalize function",
-		"config.go:55": "ShardConfig.Replicas is never referenced",
+		"config.go:15": "Config.Depth is never referenced",
+		"config.go:28": "OrphanConfig has no validate/normalize function",
+		"config.go:60": "ShardConfig.Replicas is never referenced",
+		"config.go:79": "PolicyConfig.Trace is never referenced",
 	})
 }
 

@@ -1,6 +1,11 @@
 package fixture
 
-import "context"
+import (
+	"context"
+	"errors"
+)
+
+var errBadKind = errors.New("bad kind")
 
 // Config has normalize coverage for Workers only: Depth is a violation.
 // Ctx is context.Context and therefore exempt; the unexported field is
@@ -63,4 +68,28 @@ func (c *ShardConfig) normalize() {
 	if c.Width <= 0 {
 		c.Width = 4096
 	}
+}
+
+// PolicyConfig mirrors the sem cache-policy config: Validate copies the
+// receiver and re-validates through normalize, which defaults the Kind
+// string. Both methods reference Kind, so the struct is clean; Trace is
+// referenced by neither: violation.
+type PolicyConfig struct {
+	Kind  string
+	Trace bool
+}
+
+func (c *PolicyConfig) normalize() {
+	if c.Kind == "" {
+		c.Kind = "lru"
+	}
+}
+
+func (c *PolicyConfig) Validate() error {
+	cc := *c
+	cc.normalize()
+	if cc.Kind != "lru" && cc.Kind != "state" {
+		return errBadKind
+	}
+	return nil
 }

@@ -1,0 +1,205 @@
+package sem
+
+// This file is the state-aware cache-policy layer. The block cache's default
+// replacement is recency-only (LRU), which is blind to algorithm state: a
+// block whose vertices are all settled is as likely to be kept as a block the
+// traversal is about to revisit. ACGraph-style async out-of-core engines win
+// by scoring block residency by the state of the vertices on each block; the
+// StatePolicy below does the same with a per-block pending-visitor counter
+// fed by the engine's settle hook (core.Engine.SetSettle -> Graph.VertexQueued/
+// VertexSettled). Eviction then prefers settled blocks (score 0) and keeps
+// pinned ones (score > 0), with recency as the tiebreak; the legacy behavior
+// stays selectable as -cachepolicy lru.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Cache policy names accepted by ParseCachePolicy and the -cachepolicy flags.
+const (
+	PolicyLRU   = "lru"
+	PolicyState = "state"
+)
+
+// CachePolicy scores cached blocks for eviction. Score is consulted under the
+// cache's shard lock, so implementations must be cheap and lock-free (atomic
+// loads). A score of 0 means "evict freely, recency decides"; higher scores
+// pin the block harder. A nil policy on the CachedStore is exact LRU.
+type CachePolicy interface {
+	// Name reports the policy's flag spelling (PolicyLRU, PolicyState).
+	Name() string
+	// Score reports block id's retention priority. 0 = cold/settled.
+	Score(block int64) int64
+}
+
+// CachePolicyConfig selects the block-cache eviction policy of a SEM mount.
+type CachePolicyConfig struct {
+	// Kind names the policy: PolicyLRU (the default when empty) keeps the
+	// legacy recency-only replacement; PolicyState scores each block by its
+	// count of unsettled vertices and pins blocks with pending work.
+	Kind string
+}
+
+// normalize defaults an empty Kind to the legacy LRU policy.
+func (c *CachePolicyConfig) normalize() {
+	if c.Kind == "" {
+		c.Kind = PolicyLRU
+	}
+}
+
+// Validate rejects unknown policy names.
+func (c *CachePolicyConfig) Validate() error {
+	cc := *c
+	cc.normalize()
+	switch cc.Kind {
+	case PolicyLRU, PolicyState:
+		return nil
+	}
+	return fmt.Errorf("sem: unknown cache policy %q (want %s or %s)", c.Kind, PolicyLRU, PolicyState)
+}
+
+// StateAware reports whether the config selects the state-aware policy.
+func (c CachePolicyConfig) StateAware() bool {
+	c.normalize()
+	return c.Kind == PolicyState
+}
+
+// ParseCachePolicy parses a -cachepolicy flag value ("", "lru", "state").
+func ParseCachePolicy(s string) (CachePolicyConfig, error) {
+	cfg := CachePolicyConfig{Kind: s}
+	cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return CachePolicyConfig{}, err
+	}
+	return cfg, nil
+}
+
+// StatePolicy is the state-aware cache policy: one pending-visitor counter
+// per device block, incremented when a visitor targeting the block is queued
+// and decremented when it settles (visited or dropped stale). Blocks with a
+// positive count hold work the traversal will read soon, so eviction skips
+// them while any same-shard settled block exists. All counters are atomics;
+// queued/settled arrive concurrently from every engine worker while Score is
+// read under cache shard locks.
+type StatePolicy struct {
+	pending []atomic.Int32
+
+	// pinned tracks how many blocks currently have pending work (the 0 <-> 1
+	// transitions of the counters); pinnedHW is its high-water mark, the
+	// "pinned-block high-water" observability column.
+	pinned   atomic.Int64
+	pinnedHW atomic.Int64
+
+	// onHot, when set (by CachedStore.EnableStatePolicy), fires on each
+	// 0 -> 1 pending transition: the block just went from settled to holding
+	// queued work. The cache uses it to refresh the block's recency before
+	// the read arrives — advance notice pure LRU cannot have, since the
+	// push-to-pop gap is exactly when an about-to-be-read block sits at the
+	// LRU tail.
+	onHot func(block int64)
+}
+
+// NewStatePolicy creates a policy for a store of nBlocks device blocks.
+func NewStatePolicy(nBlocks int64) *StatePolicy {
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	return &StatePolicy{pending: make([]atomic.Int32, nBlocks)}
+}
+
+// Name implements CachePolicy.
+func (p *StatePolicy) Name() string { return PolicyState }
+
+// Score implements CachePolicy: the block's pending-visitor count.
+func (p *StatePolicy) Score(block int64) int64 {
+	if block < 0 || block >= int64(len(p.pending)) {
+		return 0
+	}
+	if n := p.pending[block].Load(); n > 0 {
+		return int64(n)
+	}
+	return 0
+}
+
+// Queued records one visitor queued for a vertex on the given block.
+//
+//lint:hotpath
+func (p *StatePolicy) Queued(block int64) {
+	if block < 0 || block >= int64(len(p.pending)) {
+		return
+	}
+	if p.pending[block].Add(1) == 1 {
+		n := p.pinned.Add(1)
+		for {
+			hw := p.pinnedHW.Load()
+			if n <= hw || p.pinnedHW.CompareAndSwap(hw, n) {
+				break
+			}
+		}
+		if p.onHot != nil {
+			p.onHot(block)
+		}
+	}
+}
+
+// Settled records one visitor settled (visited or dropped stale) on the given
+// block. The decrement saturates at zero: an aborted traversal may drain
+// fewer settles than it queued, and the next traversal must not start from a
+// negative count.
+//
+//lint:hotpath
+func (p *StatePolicy) Settled(block int64) {
+	if block < 0 || block >= int64(len(p.pending)) {
+		return
+	}
+	for {
+		cur := p.pending[block].Load()
+		if cur <= 0 {
+			return
+		}
+		if p.pending[block].CompareAndSwap(cur, cur-1) {
+			if cur == 1 {
+				p.pinned.Add(-1)
+			}
+			return
+		}
+	}
+}
+
+// Pinned reports the number of blocks currently holding pending work.
+func (p *StatePolicy) Pinned() int64 { return p.pinned.Load() }
+
+// PinnedHW reports the high-water mark of simultaneously pinned blocks.
+func (p *StatePolicy) PinnedHW() int64 { return p.pinnedHW.Load() }
+
+// ParseByteSize parses a byte count with an optional binary unit suffix:
+// plain digits, or a k/K/KiB/KB (1024) or m/M/MiB/MB (1048576) suffix, e.g.
+// "32768", "32k", "32KiB", "1MiB". Unknown units are an error — they used to
+// be silently ignored by integer flag parsing.
+func ParseByteSize(s string) (int, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("empty byte size")
+	}
+	mult := 1
+	for _, u := range []struct {
+		suffix string
+		mult   int
+	}{
+		{"KiB", 1 << 10}, {"KB", 1 << 10}, {"k", 1 << 10}, {"K", 1 << 10},
+		{"MiB", 1 << 20}, {"MB", 1 << 20}, {"m", 1 << 20}, {"M", 1 << 20},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			mult, t = u.mult, strings.TrimSuffix(t, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.Atoi(t)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q (want digits with optional k/KiB/m/MiB suffix)", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,466 @@
+package sem
+
+// Tests for the state-aware cache-policy layer: flag parsing, the settle
+// counters themselves, their effect on eviction, and — the contract the
+// -cachepolicy flag advertises — bit-identical traversal results under either
+// policy across kernels, formats, and sharding. The concurrency tests run
+// under -race in CI alongside the existing sem concurrency suite.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ssd"
+)
+
+func TestParseCachePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind string
+		ok   bool
+	}{
+		{"", PolicyLRU, true},
+		{"lru", PolicyLRU, true},
+		{"state", PolicyState, true},
+		{"mru", "", false},
+		{"State", "", false}, // case-sensitive, like -direction
+		{"lru ", "", false},
+	}
+	for _, c := range cases {
+		cfg, err := ParseCachePolicy(c.in)
+		if c.ok && (err != nil || cfg.Kind != c.kind) {
+			t.Errorf("ParseCachePolicy(%q) = %+v, %v; want kind %q", c.in, cfg, err, c.kind)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseCachePolicy(%q) succeeded, want error", c.in)
+		}
+	}
+	if !(CachePolicyConfig{Kind: PolicyState}).StateAware() {
+		t.Error("state config not StateAware")
+	}
+	if (CachePolicyConfig{}).StateAware() {
+		t.Error("empty config (defaults to lru) reports StateAware")
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"4096", 4096, true},
+		{" 8k ", 8 << 10, true},
+		{"8K", 8 << 10, true},
+		{"32KiB", 32 << 10, true},
+		{"32KB", 32 << 10, true},
+		{"2m", 2 << 20, true},
+		{"1MiB", 1 << 20, true},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"32GiB", 0, false},
+		{"lots", 0, false},
+		{"k", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseByteSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseByteSize(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestStatePolicyCounters(t *testing.T) {
+	p := NewStatePolicy(4)
+	if p.Score(2) != 0 || p.Pinned() != 0 {
+		t.Fatal("fresh policy not zeroed")
+	}
+	p.Queued(2)
+	p.Queued(2)
+	p.Queued(3)
+	if p.Score(2) != 2 || p.Score(3) != 1 {
+		t.Fatalf("scores = %d,%d; want 2,1", p.Score(2), p.Score(3))
+	}
+	if p.Pinned() != 2 || p.PinnedHW() != 2 {
+		t.Fatalf("pinned=%d hw=%d; want 2,2", p.Pinned(), p.PinnedHW())
+	}
+	p.Settled(2)
+	p.Settled(2)
+	p.Settled(3)
+	if p.Score(2) != 0 || p.Score(3) != 0 || p.Pinned() != 0 {
+		t.Fatal("settle did not drain counters")
+	}
+	if p.PinnedHW() != 2 {
+		t.Fatalf("high-water lost: %d", p.PinnedHW())
+	}
+	// Saturating decrement: an aborted traversal can settle more than it
+	// queued; the counter must not go negative and poison the next run.
+	p.Settled(1)
+	p.Settled(1)
+	if p.Score(1) != 0 {
+		t.Fatalf("over-settle produced score %d", p.Score(1))
+	}
+	p.Queued(1)
+	if p.Score(1) != 1 {
+		t.Fatalf("counter poisoned after over-settle: %d", p.Score(1))
+	}
+	// Out-of-range blocks are ignored, not a panic: shard maps can route a
+	// vertex of another shard through a member's settle sink.
+	p.Queued(-1)
+	p.Queued(99)
+	p.Settled(99)
+	if p.Score(99) != 0 {
+		t.Fatal("out-of-range score")
+	}
+}
+
+// TestStatePolicyRace hammers one policy from many goroutines mixing queue,
+// settle, and score traffic — the exact shape of engine workers feeding settle
+// hooks while cache shards read scores during eviction.
+func TestStatePolicyRace(t *testing.T) {
+	p := NewStatePolicy(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := int64((w*31 + i) % 32)
+				p.Queued(b)
+				p.Score((b + 7) % 32)
+				p.Settled(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for b := int64(0); b < 32; b++ {
+		if p.Score(b) != 0 {
+			t.Fatalf("block %d ended with score %d, want 0", b, p.Score(b))
+		}
+	}
+	if p.Pinned() != 0 {
+		t.Fatalf("pinned gauge ended at %d", p.Pinned())
+	}
+	if hw := p.PinnedHW(); hw < 1 || hw > 32 {
+		t.Fatalf("high-water %d out of range", hw)
+	}
+}
+
+// TestStateEvictionPrefersSettled checks the tentpole's eviction contract
+// directly: with the cache over capacity, blocks whose settle counters are
+// positive survive while settled blocks at equal recency are evicted.
+func TestStateEvictionPrefersSettled(t *testing.T) {
+	back := &ssd.MemBacking{Data: make([]byte, 64*512)}
+	// One shard, 8-block budget, no readahead: eviction decisions are exact.
+	cache, err := NewCachedStore(fastDevice(back), 512, 8*512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cache.EnableStatePolicy()
+	buf := make([]byte, 512)
+	readBlock := func(id int64) {
+		t.Helper()
+		if _, err := cache.ReadAt(buf, id*512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin block 0 (oldest), then stream enough blocks through to force
+	// evictions. LRU order alone would evict block 0 first.
+	sp.Queued(0)
+	readBlock(0)
+	for id := int64(1); id < 12; id++ {
+		readBlock(id)
+	}
+	if !cache.residentRange(0, 512) {
+		t.Fatal("pinned block 0 was evicted")
+	}
+	if cache.residentRange(1*512, 512) {
+		t.Fatal("settled block 1 survived eviction pressure that should have taken it")
+	}
+	sp.Settled(0)
+	for id := int64(12); id < 24; id++ {
+		readBlock(id)
+	}
+	if cache.residentRange(0, 512) {
+		t.Fatal("block 0 still resident after settling under continued pressure")
+	}
+}
+
+func TestCachedStoreTouchAndResidentRange(t *testing.T) {
+	back := &ssd.MemBacking{Data: make([]byte, 64*512)}
+	cache, err := NewCachedStore(fastDevice(back), 512, 4*512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	for id := int64(0); id < 4; id++ {
+		if _, err := cache.ReadAt(buf, id*512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cache.residentRange(0, 4*512) {
+		t.Fatal("freshly read range not resident")
+	}
+	if cache.residentRange(0, 5*512) {
+		t.Fatal("range including an unread block reported resident")
+	}
+	// touch must refresh recency: re-touching block 0 right before an
+	// eviction-forcing read should sacrifice block 1 instead.
+	cache.touch(0)
+	if _, err := cache.ReadAt(buf, 4*512); err != nil {
+		t.Fatal(err)
+	}
+	if !cache.residentRange(0, 512) {
+		t.Fatal("touched block evicted")
+	}
+	if cache.residentRange(1*512, 512) {
+		t.Fatal("untouched LRU block survived")
+	}
+	cache.touch(999999) // out of range: must be a no-op, not a panic
+}
+
+// statePair mounts g twice on fast devices — once per policy — with prefetch
+// enabled, returning the two adjacency views.
+func statePair(t testing.TB, g *graph.CSR[uint32], compressed bool) (lru, state *Graph[uint32]) {
+	t.Helper()
+	mount := func(stateAware bool) *Graph[uint32] {
+		var buf bytes.Buffer
+		var err error
+		if compressed {
+			err = WriteCSRCompressed(&buf, g)
+		} else {
+			err = WriteCSR(&buf, g)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := fastDevice(&ssd.MemBacking{Data: buf.Bytes()})
+		cache, err := NewCachedStoreRA(dev, 512, int64(buf.Len())/4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg, err := Open[uint32](cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stateAware {
+			if !sg.EnableStateCache() {
+				t.Fatal("EnableStateCache refused a cached mount")
+			}
+		}
+		sg.EnablePrefetch(PrefetchConfig{MaxGap: 1024})
+		return sg
+	}
+	return mount(false), mount(true)
+}
+
+// TestPolicyEquivalence is the -cachepolicy contract: the state-aware policy
+// changes device traffic, never results. BFS, SSSP, and CC results under the
+// state policy must equal the LRU mount's and the in-memory baseline's,
+// raw and compressed.
+func TestPolicyEquivalence(t *testing.T) {
+	base, err := gen.RMATUndirected[uint32](9, 8, gen.RMATB, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := gen.UniformWeights(base, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Workers: 8, Prefetch: 16, SemiSort: true}
+	src := uint32(1)
+	for _, compressed := range []bool{false, true} {
+		lru, state := statePair(t, weighted, compressed)
+		name := map[bool]string{false: "raw", true: "compressed"}[compressed]
+
+		imBFS, err := core.BFS[uint32](weighted, src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lruBFS, err := core.BFS[uint32](lru, src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stBFS, err := core.BFS[uint32](state, src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range imBFS.Level {
+			if lruBFS.Level[v] != imBFS.Level[v] || stBFS.Level[v] != imBFS.Level[v] {
+				t.Fatalf("%s BFS level[%d]: im=%d lru=%d state=%d",
+					name, v, imBFS.Level[v], lruBFS.Level[v], stBFS.Level[v])
+			}
+		}
+
+		imSSSP, err := core.SSSP[uint32](weighted, src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stSSSP, err := core.SSSP[uint32](state, src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range imSSSP.Dist {
+			if stSSSP.Dist[v] != imSSSP.Dist[v] {
+				t.Fatalf("%s SSSP dist[%d]: im=%d state=%d", name, v, imSSSP.Dist[v], stSSSP.Dist[v])
+			}
+		}
+
+		imCC, err := core.CC[uint32](weighted, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stCC, err := core.CC[uint32](state, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range imCC.ID {
+			if stCC.ID[v] != imCC.ID[v] {
+				t.Fatalf("%s CC id[%d]: im=%d state=%d", name, v, imCC.ID[v], stCC.ID[v])
+			}
+		}
+	}
+}
+
+// TestPolicyEquivalenceSharded runs BFS over a sharded mount with the state
+// policy active on every member cache and checks distances against the
+// in-memory run.
+func TestPolicyEquivalenceSharded(t *testing.T) {
+	g, err := gen.RMAT[uint32](9, 8, gen.RMATA, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 2
+	members := make([]graph.Adjacency[uint32], shards)
+	for k := 0; k < shards; k++ {
+		data := writeShardBytes(t, g, k, shards, false)
+		cache, err := NewCachedStoreRA(fastDevice(&ssd.MemBacking{Data: data}), 512, int64(len(data))/4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg, err := Open[uint32](cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sg.EnableStateCache() {
+			t.Fatal("EnableStateCache refused a cached shard mount")
+		}
+		sg.EnablePrefetch(PrefetchConfig{MaxGap: 1024})
+		members[k] = sg
+	}
+	sh, err := graph.NewSharded[uint32](members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Workers: 8, Prefetch: 16, SemiSort: true}
+	src := uint32(1)
+	want, err := core.BFS[uint32](g, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.BFS[uint32](sh, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Level {
+		if got.Level[v] != want.Level[v] {
+			t.Fatalf("sharded state BFS level[%d] = %d, want %d", v, got.Level[v], want.Level[v])
+		}
+	}
+}
+
+// TestConcurrentStateTraversals exercises the whole state-aware path — settle
+// hooks, span dedup table, residency bitset, score-driven eviction — from
+// many concurrent traversals over one shared mount. Run under -race in CI.
+func TestConcurrentStateTraversals(t *testing.T) {
+	g, err := gen.RMAT[uint32](9, 8, gen.RMATA, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewCachedStoreRA(fastDevice(&ssd.MemBacking{Data: buf.Bytes()}), 512, int64(buf.Len())/4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := Open[uint32](cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg.EnableStateCache()
+	sg.EnablePrefetch(PrefetchConfig{MaxGap: 1024})
+	cfg := core.Config{Workers: 8, Prefetch: 16, SemiSort: true}
+
+	const traversals = 6
+	want := make([]*core.BFSResult[uint32], traversals)
+	for i := range want {
+		var err error
+		if want[i], err = core.BFS[uint32](g, uint32(i*5), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, traversals)
+	for i := 0; i < traversals; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := core.BFS[uint32](sg, uint32(i*5), cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for v := range want[i].Level {
+				if res.Level[v] != want[i].Level[v] {
+					errs <- fmt.Errorf("traversal %d: level[%d] = %d, want %d",
+						i, v, res.Level[v], want[i].Level[v])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if sk := sg.PrefetchStats(); sk.Spans == 0 {
+		t.Error("prefetcher issued no spans; test exercised nothing")
+	}
+}
+
+// BenchmarkCacheEvict measures the batched eviction pass: Resize shrinks the
+// cache by many entries in one lock acquisition per shard instead of a
+// lock-and-walk per entry (the satellite fix this PR guards).
+func BenchmarkCacheEvict(b *testing.B) {
+	g := buildGraph(b, 1<<12, 1<<15, false, 5)
+	back := writeToMem(b, g)
+	blocks := int64(len(back.Data)) / 512 // full blocks only; the tail fragment would read past EOF
+	buf := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := NewCachedStore(fastDevice(back), 512, blocks*512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id := int64(0); id < blocks; id++ {
+			if _, err := cache.ReadAt(buf, id*512); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		cache.Resize(blocks * 512 / 8) // evict 7/8 of the cache in one pass
+	}
+}

@@ -25,6 +25,7 @@ package sem
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -70,6 +71,18 @@ type PrefetchStats struct {
 	Consumed  uint64 // prefetched adjacency lists delivered to Neighbors
 	Abandoned uint64 // prefetched lists dropped unread (stale by visit time)
 
+	// Cross-worker span dedup (the in-flight span table): windows whose
+	// coalesced range was already covered by another worker's in-flight read
+	// share that read's buffer instead of issuing their own device op.
+	DedupSpans uint64 // device reads avoided by sharing an in-flight span
+	DedupBytes uint64 // bytes those avoided reads would have transferred
+
+	// ResidentSkips counts coalesced spans whose whole byte range was already
+	// cached or in flight at window time (state-aware mounts only): the span
+	// read is served block-for-block from the cache and costs no device
+	// operation.
+	ResidentSkips uint64
+
 	// Bottom-up scan-phase counters (ScanInEdges): sequential in-edge section
 	// reads, disjoint from the pop-window span counters above.
 	ScanSpans uint64 // sequential spans issued by bottom-up scans
@@ -85,6 +98,9 @@ func (s *PrefetchStats) Add(other PrefetchStats) {
 	s.GapBytes += other.GapBytes
 	s.Consumed += other.Consumed
 	s.Abandoned += other.Abandoned
+	s.DedupSpans += other.DedupSpans
+	s.DedupBytes += other.DedupBytes
+	s.ResidentSkips += other.ResidentSkips
 	s.ScanSpans += other.ScanSpans
 	s.ScanBytes += other.ScanBytes
 }
@@ -114,15 +130,75 @@ type Prefetcher struct {
 	cfg PrefetchConfig
 	sem chan struct{} // bounds in-flight span reads
 
-	windows   atomic.Uint64
-	vertices  atomic.Uint64
-	spans     atomic.Uint64
-	spanBytes atomic.Uint64
-	gapBytes  atomic.Uint64
-	consumed  atomic.Uint64
-	abandoned atomic.Uint64
-	scanSpans atomic.Uint64
-	scanBytes atomic.Uint64
+	// The in-flight span table (cross-worker dedup): every issued span is
+	// registered from issue to read completion, and a worker whose coalesced
+	// range is fully covered by a registered span shares that span's buffer —
+	// one device read, shared delivery via the span's ready channel — instead
+	// of issuing a duplicate. Guarded by mu; the table holds only in-flight
+	// reads, so the linear scan stays short (bounded by the I/O fan-out).
+	mu       sync.Mutex
+	inflight []inflightSpan
+
+	windows    atomic.Uint64
+	vertices   atomic.Uint64
+	spans      atomic.Uint64
+	spanBytes  atomic.Uint64
+	gapBytes   atomic.Uint64
+	consumed   atomic.Uint64
+	abandoned  atomic.Uint64
+	dedupSpans atomic.Uint64
+	dedupBytes atomic.Uint64
+	resSkips   atomic.Uint64
+	scanSpans  atomic.Uint64
+	scanBytes  atomic.Uint64
+}
+
+// inflightSpan is one dedup-table entry: the byte range an issued span read
+// covers.
+type inflightSpan struct {
+	off, end int64
+	sp       *span
+}
+
+// share consults the dedup table for an in-flight span fully covering
+// [off, end): on a hit the covering span is returned for shared delivery; on
+// a miss sp is registered for the range (the caller issues its read and
+// unregister runs on completion) and nil is returned. Partial overlaps both
+// read — splitting a span across two buffers would cost more coordination
+// than the duplicated bytes.
+func (p *Prefetcher) share(off, end int64, sp *span) *span {
+	p.mu.Lock()
+	for i := range p.inflight {
+		if f := &p.inflight[i]; f.off <= off && f.end >= end {
+			// Copy the span pointer before unlocking: f aliases a table slot
+			// that a concurrent unregister may compact the moment the lock
+			// drops.
+			found := f.sp
+			p.mu.Unlock()
+			p.dedupSpans.Add(1)
+			p.dedupBytes.Add(uint64(end - off))
+			return found
+		}
+	}
+	p.inflight = append(p.inflight, inflightSpan{off: off, end: end, sp: sp})
+	p.mu.Unlock()
+	return nil
+}
+
+// unregister drops a completed span from the dedup table. A worker that
+// found the span just before completion still shares it safely: buf and err
+// are immutable after ready closes.
+func (p *Prefetcher) unregister(sp *span) {
+	p.mu.Lock()
+	for i := range p.inflight {
+		if p.inflight[i].sp == sp {
+			last := len(p.inflight) - 1
+			p.inflight[i] = p.inflight[last]
+			p.inflight = p.inflight[:last]
+			break
+		}
+	}
+	p.mu.Unlock()
 }
 
 // normalize clamps the prefetch knobs to their working ranges.
@@ -143,15 +219,18 @@ func newPrefetcher(cfg PrefetchConfig) *Prefetcher {
 // Stats snapshots the counters.
 func (p *Prefetcher) Stats() PrefetchStats {
 	return PrefetchStats{
-		Windows:   p.windows.Load(),
-		Vertices:  p.vertices.Load(),
-		Spans:     p.spans.Load(),
-		SpanBytes: p.spanBytes.Load(),
-		GapBytes:  p.gapBytes.Load(),
-		Consumed:  p.consumed.Load(),
-		Abandoned: p.abandoned.Load(),
-		ScanSpans: p.scanSpans.Load(),
-		ScanBytes: p.scanBytes.Load(),
+		Windows:       p.windows.Load(),
+		Vertices:      p.vertices.Load(),
+		Spans:         p.spans.Load(),
+		SpanBytes:     p.spanBytes.Load(),
+		GapBytes:      p.gapBytes.Load(),
+		Consumed:      p.consumed.Load(),
+		Abandoned:     p.abandoned.Load(),
+		DedupSpans:    p.dedupSpans.Load(),
+		DedupBytes:    p.dedupBytes.Load(),
+		ResidentSkips: p.resSkips.Load(),
+		ScanSpans:     p.scanSpans.Load(),
+		ScanBytes:     p.scanBytes.Load(),
 	}
 }
 
@@ -215,7 +294,8 @@ func (s *prefetchSession) take(v uint64) (block []byte, err error, prefetched bo
 	return nil, nil, false
 }
 
-// read services one span on the bounded I/O pool.
+// read services one span on the bounded I/O pool, then retires it from the
+// dedup table.
 //
 //lint:hotpath
 func (p *Prefetcher) read(store Store, sp *span) {
@@ -224,6 +304,7 @@ func (p *Prefetcher) read(store Store, sp *span) {
 	<-p.sem
 	sp.err = err
 	close(sp.ready)
+	p.unregister(sp)
 }
 
 // EnablePrefetch attaches an asynchronous prefetcher to the graph. After the
@@ -289,6 +370,7 @@ func (g *Graph[V]) NeighborsBatch(vs []V, scratch *graph.Scratch[V]) {
 	// span's end. Duplicate or overlapping extents (the same vertex popped
 	// twice in one window) fold into the same span bytes.
 	maxGap := int64(p.cfg.MaxGap)
+	affine := g.state != nil && g.cache != nil
 	for i := 0; i < len(exts); {
 		start := exts[i].off
 		end := start + int64(exts[i].n)
@@ -306,19 +388,40 @@ func (g *Graph[V]) NeighborsBatch(vs []V, scratch *graph.Scratch[V]) {
 			}
 			j++
 		}
-		sp := &span{off: start, buf: make([]byte, end-start), ready: make(chan struct{})}
+		// Cache-affine accounting: a span whose whole byte range is already
+		// resident (or in flight) is recorded as a resident window — its read
+		// below is served block-for-block from the cache and costs no device
+		// operation, only the copy into the span buffer. Skipping the read
+		// instead is a trap: the bytes must be snapshotted now, while they are
+		// resident, because visit-time fallback reads land after eviction
+		// churn has recycled the blocks.
+		if affine && g.cache.residentRange(start, int(end-start)) {
+			p.resSkips.Add(1)
+		}
+		// Cross-worker dedup: when another worker's in-flight span already
+		// covers this range, share its buffer and ready channel instead of
+		// issuing a duplicate device read. The buffer is only allocated when
+		// this worker actually issues.
+		sp := &span{off: start, ready: make(chan struct{})}
+		use := sp
+		if shared := p.share(start, end, sp); shared != nil {
+			use = shared
+		}
 		for k := i; k < j; k++ {
 			sess.entries = append(sess.entries, pfEntry{
 				v:  exts[k].v,
-				sp: sp,
-				lo: int(exts[k].off - start),
+				sp: use,
+				lo: int(exts[k].off - use.off),
 				n:  exts[k].n,
 			})
 		}
-		p.spans.Add(1)
-		p.spanBytes.Add(uint64(len(sp.buf)))
-		p.gapBytes.Add(uint64(gap))
-		go p.read(g.store, sp)
+		if use == sp {
+			sp.buf = make([]byte, end-start)
+			p.spans.Add(1)
+			p.spanBytes.Add(uint64(len(sp.buf)))
+			p.gapBytes.Add(uint64(gap))
+			go p.read(g.store, sp)
+		}
 		i = j
 	}
 }

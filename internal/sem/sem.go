@@ -121,6 +121,13 @@ type Graph[V graph.Vertex] struct {
 	// asynchronous span reads (see prefetch.go). Nil means NeighborsBatch is
 	// a no-op and every Neighbors call reads synchronously.
 	prefetch *Prefetcher
+
+	// State-aware cache-policy glue (see state.go): set together by
+	// EnableStateCache when the store is a CachedStore. state receives the
+	// engine's settle notifications mapped to block ids; cache answers the
+	// pop-window affinity probes. Both nil under the legacy LRU policy.
+	state *StatePolicy
+	cache *CachedStore
 }
 
 // vertexWidth reports the on-disk vertex id width for V.

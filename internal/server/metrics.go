@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/sem"
 	"repro/internal/ssd"
 )
 
@@ -201,19 +202,42 @@ func (s *Server) buildVars() *expvar.Map {
 			}
 			if len(g.BlockCaches) > 0 {
 				var hits, misses uint64
+				var pinnedHW int64
+				policy := ""
 				perShard := make([]map[string]any, 0, len(g.BlockCaches))
 				for _, c := range g.BlockCaches {
 					if c == nil {
 						continue
 					}
+					policy = c.PolicyName()
 					h, mi := c.Stats()
 					hits += h
 					misses += mi
+					if hw := c.PinnedHW(); hw > pinnedHW {
+						pinnedHW = hw
+					}
 					perShard = append(perShard, map[string]any{"hits": h, "misses": mi})
 				}
-				gv["block_cache"] = map[string]any{"hits": hits, "misses": misses}
+				bc := map[string]any{"hits": hits, "misses": misses, "policy": policy}
+				if policy == sem.PolicyState {
+					bc["pinned_hw"] = pinnedHW
+				}
+				gv["block_cache"] = bc
 				if len(perShard) > 1 {
 					gv["shard_block_caches"] = perShard
+				}
+			}
+			if len(g.SEMGraphs) > 0 {
+				var ps sem.PrefetchStats
+				for _, sg := range g.SEMGraphs {
+					ps.Add(sg.PrefetchStats())
+				}
+				gv["prefetch"] = map[string]any{
+					"windows":     ps.Windows,
+					"spans":       ps.Spans,
+					"span_bytes":  ps.SpanBytes,
+					"dedup_spans": ps.DedupSpans,
+					"dedup_bytes": ps.DedupBytes,
 				}
 			}
 			out[name] = gv
@@ -231,5 +255,6 @@ func deviceVars(st ssd.Stats) map[string]any {
 		"bytes_read":     st.BytesRead,
 		"bytes_written":  st.BytesWritten,
 		"max_read_bytes": st.MaxReadBytes,
+		"peak_reads":     st.PeakReads,
 	}
 }

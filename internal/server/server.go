@@ -158,6 +158,10 @@ type Graph struct {
 	BlockCache  *sem.CachedStore
 	Devices     []*ssd.Device
 	BlockCaches []*sem.CachedStore
+	// SEMGraphs are the semi-external member graphs behind Adj (one per
+	// shard; nil for in-memory mounts). /metrics reads their prefetch
+	// counters — span dedup in particular — without reaching through Adj.
+	SEMGraphs []*sem.Graph[uint32]
 	// Shards is the mount's partition width (0 or 1 = unsharded). Filled
 	// from Adj when it is a shard router.
 	Shards int

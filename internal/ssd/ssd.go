@@ -98,6 +98,11 @@ type Stats struct {
 	// span coalescing in the layers above: k small adjacency reads merged
 	// into one large ReadAt show up here as a multi-record span.
 	MaxReadBytes uint64
+	// PeakReads is the high-water count of concurrently in-flight read
+	// operations (queued or occupying a service slot). Cross-worker span
+	// dedup shows up here: workers that share one in-flight span instead of
+	// issuing duplicate reads lower the peak at equal traversal concurrency.
+	PeakReads uint64
 }
 
 // Add accumulates other into s: counters sum, MaxReadBytes takes the larger.
@@ -109,6 +114,9 @@ func (s *Stats) Add(other Stats) {
 	s.BytesWritten += other.BytesWritten
 	if other.MaxReadBytes > s.MaxReadBytes {
 		s.MaxReadBytes = other.MaxReadBytes
+	}
+	if other.PeakReads > s.PeakReads {
+		s.PeakReads = other.PeakReads
 	}
 }
 
@@ -144,6 +152,8 @@ type Device struct {
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
 	maxReadBytes atomic.Uint64
+	inflight     atomic.Int64
+	peakReads    atomic.Uint64
 }
 
 // Backing is the byte store behind a Device: a RAM buffer in tests and
@@ -210,6 +220,7 @@ func (d *Device) Stats() Stats {
 		BytesRead:    d.bytesRead.Load(),
 		BytesWritten: d.bytesWritten.Load(),
 		MaxReadBytes: d.maxReadBytes.Load(),
+		PeakReads:    d.peakReads.Load(),
 	}
 }
 
@@ -234,7 +245,14 @@ func (d *Device) occupy(dur time.Duration) {
 // ReadAt reads len(p) bytes at off, charging one read operation's simulated
 // latency. Implements io.ReaderAt.
 func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	for cur := uint64(d.inflight.Add(1)); ; {
+		peak := d.peakReads.Load()
+		if cur <= peak || d.peakReads.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
 	d.occupy(d.serviceTime(d.profile.ReadLatency, len(p)))
+	d.inflight.Add(-1)
 	d.reads.Add(1)
 	d.bytesRead.Add(uint64(len(p)))
 	for n := uint64(len(p)); ; {
